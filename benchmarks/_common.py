@@ -1,0 +1,53 @@
+"""Shared scaffolding for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the AliGraph paper, prints
+the side-by-side (measured vs paper) report and appends it to
+``benchmarks/results/<experiment>.txt`` so the artifact survives pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench import ExperimentReport
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(report: ExperimentReport) -> None:
+    """Print the report and persist it under benchmarks/results/.
+
+    Both a rendered ``.txt`` (human) and a ``.json`` (consumed by the
+    Figure 1 summary bench) are written.
+    """
+    rendered = report.render()
+    print("\n" + rendered + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{report.experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(rendered + "\n")
+    payload = {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "records": [
+            {"label": r.label, "measured": r.measured, "paper": r.paper}
+            for r in report.records
+        ],
+    }
+    with open(
+        os.path.join(RESULTS_DIR, f"{report.experiment_id}.json"),
+        "w",
+        encoding="utf-8",
+    ) as f:
+        json.dump(payload, f, indent=1)
+
+
+def load_result(experiment_id: str) -> "dict | None":
+    """Load a previously emitted result bundle (None when absent)."""
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)

@@ -1,0 +1,147 @@
+"""Table 12 — Bayesian GNN correction over GraphSAGE (hit recall).
+
+Paper: correcting GraphSAGE embeddings with knowledge-graph priors lifts
+recommendation hit recall by 1–3% at brand and category granularity, for
+both click and buy behaviours, at HR@{10,30,50}.
+
+Setup: GraphSAGE embeds the behaviour graph; the KG links items to brands
+and categories (aligned with the generator's interest groups); the Bayesian
+GNN learns the posterior correction (Eq. 7's second-order generative model)
+and the corrected embeddings are evaluated on the same recommendation
+split at group granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BayesianGNN, GraphSAGE
+from repro.bench import ExperimentReport
+from repro.graph import AttributedHeterogeneousGraph
+from repro.data import knowledge_graph, make_dataset, train_test_split_edges
+from repro.tasks import evaluate_recommendation
+
+from _common import emit
+
+KS = [10, 30, 50]
+#: Paper values (%), Brand and Category granularity, Click and Buy.
+PAPER = {
+    ("Brand", "click", "GraphSAGE"): {10: 15.97, 30: 16.65, 50: 17.26},
+    ("Brand", "click", "+Bayesian"): {10: 16.14, 30: 17.12, 50: 17.90},
+    ("Brand", "buy", "GraphSAGE"): {10: 24.87, 30: 25.70, 50: 26.39},
+    ("Brand", "buy", "+Bayesian"): {10: 25.10, 30: 26.57, 50: 27.33},
+    ("Category", "click", "GraphSAGE"): {10: 27.46, 30: 28.43, 50: 29.58},
+    ("Category", "click", "+Bayesian"): {10: 27.49, 30: 29.99, 50: 32.88},
+    ("Category", "buy", "GraphSAGE"): {10: 27.85, 30: 28.50, 50: 26.26},
+    ("Category", "buy", "+Bayesian"): {10: 27.91, 30: 29.45, 50: 31.47},
+}
+
+
+def _interaction_split(graph, behaviours, seed=0):
+    n_users = int(np.sum(graph.vertex_types == graph.vertex_type_code("user")))
+    split = train_test_split_edges(graph, 0.25, seed=seed)
+    behaviour_codes = {graph.edge_type_code(b) for b in behaviours}
+    train_items: dict[int, set[int]] = {}
+    test_items: dict[int, set[int]] = {}
+    src, dst, _ = split.train_graph.edge_array()
+    for u, v in zip(src, dst):
+        u, v = int(u), int(v)
+        if u < n_users <= v:
+            train_items.setdefault(u, set()).add(v - n_users)
+    for (u, v), etype in zip(split.test_pos, split.test_types):
+        u, v = int(u), int(v)
+        if u < n_users <= v and int(etype) in behaviour_codes:
+            test_items.setdefault(u, set()).add(v - n_users)
+    test_items = {u: s for u, s in test_items.items() if u in train_items}
+    return split.train_graph, train_items, test_items, n_users
+
+
+def _run() -> ExperimentReport:
+    graph = make_dataset("taobao-small-sim", scale=0.35, seed=0)
+    n_users = int(np.sum(graph.vertex_types == 0))
+    n_items = graph.n_vertices - n_users
+    # KG aligned with the generator's interest groups (item feature block).
+    tag_dims = 20
+    item_category = graph.vertex_features[n_users:, :tag_dims].argmax(axis=1)
+    kg, brand_of, category_of = knowledge_graph(
+        n_items, n_brands=150, n_categories=tag_dims,
+        category_of=item_category, seed=1,
+    )
+
+    report = ExperimentReport("t12", "Bayesian correction lift on hit recall (%)")
+    rows = {}
+    for behaviour in ("click", "buy"):
+        train_graph, train_items, test_items, _ = _interaction_split(
+            graph, [behaviour]
+        )
+        # The base GraphSAGE runs structure-only. Our synthetic features
+        # embed the ground-truth interest groups directly (real Taobao
+        # attributes do not), which would make the KG prior redundant; the
+        # paper's information structure — task signal from behaviour,
+        # category/brand knowledge only in the KG — is restored by
+        # stripping features from the base model's input.
+        structural = AttributedHeterogeneousGraph(
+            n_vertices=train_graph.n_vertices,
+            src=train_graph.edge_array()[0],
+            dst=train_graph.edge_array()[1],
+            vertex_types=train_graph.vertex_types,
+            edge_types=train_graph.edge_types,
+            vertex_type_names=train_graph.vertex_type_names,
+            edge_type_names=train_graph.edge_type_names,
+            weights=train_graph.edge_array()[2],
+            directed=train_graph.directed,
+            vertex_features=None,
+        )
+        sage = GraphSAGE(dim=64, epochs=4, max_steps_per_epoch=20, seed=0)
+        sage.fit(structural)
+        emb = sage.embeddings()
+        user_emb = emb[:n_users]
+        item_emb = emb[n_users:]
+
+        bayes = BayesianGNN(dim=32, steps=300, seed=0)
+        bayes.fit_correction(item_emb, kg, entity_ids=np.arange(n_items))
+        # Corrected task embedding f(h+mu) lives in the task space; blend
+        # it with the original (the KG prior refines, not replaces).
+        corrected_items = 0.5 * item_emb + 0.5 * bayes.embeddings()
+        corrected_users = user_emb
+        for gran, groups in (("Brand", brand_of), ("Category", category_of)):
+            base = evaluate_recommendation(
+                user_emb, item_emb, train_items, test_items, KS, item_group=groups
+            )
+            corr = evaluate_recommendation(
+                corrected_users, corrected_items, train_items, test_items, KS,
+                item_group=groups,
+            )
+            for label, hr in (("GraphSAGE", base), ("+Bayesian", corr)):
+                key = (gran, behaviour, label)
+                rows[key] = hr
+                report.add(
+                    f"{gran}/{behaviour}/{label}",
+                    {f"hr@{k}": round(100 * hr[k], 2) for k in KS},
+                    paper={f"hr@{k}": PAPER[key][k] for k in KS},
+                )
+    report.note(
+        "corrected item embeddings blend the task view 50/50 with the "
+        "KG-informed f(h+mu) projection"
+    )
+    _assert_shape(rows)
+    return report
+
+
+def _assert_shape(rows) -> None:
+    # The Bayesian correction lifts (or preserves) recall in aggregate.
+    lifts = []
+    for gran in ("Brand", "Category"):
+        for behaviour in ("click", "buy"):
+            base = rows[(gran, behaviour, "GraphSAGE")]
+            corr = rows[(gran, behaviour, "+Bayesian")]
+            for k in KS:
+                lifts.append(corr[k] - base[k])
+    assert np.mean(lifts) > 0.0, f"mean lift {np.mean(lifts):.4f} not positive"
+    assert max(lifts) > 0.005  # at least one granularity gains visibly
+
+
+def test_t12_bayesian(benchmark: "pytest.fixture") -> None:
+    report = benchmark.pedantic(_run, iterations=1, rounds=1)
+    emit(report)

@@ -1,0 +1,110 @@
+"""Table 4 — latency of the three sampler families.
+
+Paper (batch 512, cache rate ~20%):
+
+    dataset       workers  TRAVERSE  NEIGHBORHOOD  NEGATIVE
+    Taobao-small  25       2.59 ms   45.31 ms      6.22 ms
+    Taobao-large  100      2.62 ms   52.53 ms      7.52 ms
+
+The contracts to reproduce: NEIGHBORHOOD is an order of magnitude costlier
+than TRAVERSE/NEGATIVE (it touches the distributed adjacency), everything
+finishes in tens of milliseconds, and the 6x-larger graph moves the numbers
+only slightly. Both measured wall-clock (of our Python samplers) and
+modelled distributed cost are reported.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.data import make_dataset
+from repro.sampling import (
+    DegreeBiasedNegativeSampler,
+    StoreProvider,
+    UniformNeighborSampler,
+    VertexTraverseSampler,
+)
+from repro.storage import ImportanceCachePolicy
+from repro.storage.cluster import make_store
+from repro.utils.rng import make_rng
+
+from _common import emit
+
+BATCH = 512
+PAPER_MS = {
+    "taobao-small-sim": {"traverse": 2.59, "neighborhood": 45.31, "negative": 6.22},
+    "taobao-large-sim": {"traverse": 2.62, "neighborhood": 52.53, "negative": 7.52},
+}
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time in ms."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def _run() -> ExperimentReport:
+    report = ExperimentReport("t4", "Sampling latency per 512-vertex batch (ms)")
+    for name, workers, scale in (
+        ("taobao-small-sim", 25, 1.0),
+        ("taobao-large-sim", 100, 1.0),
+    ):
+        graph = make_dataset(name, scale=scale, seed=0)
+        store = make_store(graph, workers, seed=0)
+        store.set_cache_policy(
+            ImportanceCachePolicy(), budget=int(0.2 * graph.n_vertices)
+        )
+        rng = make_rng(3)
+        traverse = VertexTraverseSampler(graph)
+        neighborhood = UniformNeighborSampler(StoreProvider(store, from_part=0))
+        negative = DegreeBiasedNegativeSampler(graph)
+        batch = traverse.sample(BATCH, rng)
+
+        t_traverse = _best_of(lambda: traverse.sample(BATCH, rng))
+        store.reset_ledger()
+        t_neigh = _best_of(lambda: neighborhood.sample(batch, [2, 2], rng), repeats=1)
+        modelled_neigh = store.ledger.modelled_millis()
+        t_negative = _best_of(lambda: negative.sample(batch, 5, rng))
+
+        cache_rate = 100.0 * store.cache_hit_rate()
+        report.add(
+            name,
+            {
+                "traverse_ms": round(t_traverse, 2),
+                "neighborhood_ms": round(t_neigh, 2),
+                "negative_ms": round(t_negative, 2),
+                "neigh_modelled_ms": round(modelled_neigh, 2),
+                "cache_hit_pct": round(cache_rate, 1),
+            },
+            paper={
+                "traverse_ms": PAPER_MS[name]["traverse"],
+                "neighborhood_ms": PAPER_MS[name]["neighborhood"],
+                "negative_ms": PAPER_MS[name]["negative"],
+            },
+        )
+    report.note("batch=512, hop_nums=[2,2], neg_num=5, importance cache ~20%")
+    return report
+
+
+def test_t4_sampling(benchmark: "pytest.fixture") -> None:
+    report = benchmark.pedantic(_run, iterations=1, rounds=1)
+    emit(report)
+    for rec in report.records:
+        m = rec.measured
+        # NEIGHBORHOOD dominates the other two samplers.
+        assert m["neighborhood_ms"] > m["traverse_ms"]
+        assert m["neighborhood_ms"] > m["negative_ms"]
+        # Everything completes within the paper's tens-of-ms regime (x5
+        # slack for the pure-Python substrate).
+        assert m["neighborhood_ms"] < 60 * 5
+    small, large = report.records
+    # Sampling time grows slowly with the 6x graph (paper: ~1.15x).
+    assert large.measured["neighborhood_ms"] < small.measured["neighborhood_ms"] * 3

@@ -1,0 +1,109 @@
+"""Table 9 — Mixture GNN vs DAE and β*-VAE on recommendation hit recall.
+
+Paper (Taobao-small):
+
+    method       HR@20     HR@50
+    DAE          0.12622   0.21619
+    beta*-VAE    0.11767   0.19997
+    Mixture GNN  0.14317   0.23680
+
+The contract: the multi-sense mixture embeddings beat both autoencoder
+baselines at both cutoffs by a couple of points of recall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DAE, BetaVAE, MixtureGNN
+from repro.bench import ExperimentReport
+from repro.data import make_dataset, train_test_split_edges
+from repro.tasks import evaluate_recommendation
+
+from _common import emit
+
+PAPER = {
+    "DAE": {"hr@20": 0.12622, "hr@50": 0.21619},
+    "beta*-VAE": {"hr@20": 0.11767, "hr@50": 0.19997},
+    "Mixture GNN": {"hr@20": 0.14317, "hr@50": 0.23680},
+}
+
+
+def _interaction_split(graph, seed=0):
+    """Per-user train/test item sets from the behaviour edges."""
+    n_users = int(np.sum(graph.vertex_types == graph.vertex_type_code("user")))
+    split = train_test_split_edges(graph, 0.25, seed=seed)
+    train_items: dict[int, set[int]] = {}
+    test_items: dict[int, set[int]] = {}
+    src, dst, _ = split.train_graph.edge_array()
+    for u, v in zip(src, dst):
+        u, v = int(u), int(v)
+        if u < n_users <= v:
+            train_items.setdefault(u, set()).add(v - n_users)
+    for u, v in split.test_pos:
+        u, v = int(u), int(v)
+        if u < n_users <= v:
+            test_items.setdefault(u, set()).add(v - n_users)
+    # Only evaluate users that have both history and held-out items.
+    test_items = {
+        u: items for u, items in test_items.items() if u in train_items
+    }
+    return split.train_graph, train_items, test_items, n_users
+
+
+def _run() -> ExperimentReport:
+    graph = make_dataset("taobao-small-sim", scale=0.35, seed=0)
+    train_graph, train_items, test_items, n_users = _interaction_split(graph)
+    n_items = graph.n_vertices - n_users
+    report = ExperimentReport("t9", "Recommendation hit recall @20/@50")
+
+    # Mixture GNN: embeddings on the (heterogeneous) training graph.
+    # Recommendation scores use the model's own likelihood geometry: the
+    # prior-weighted sense mixture for the user (center role) against the
+    # context table for candidate items (context role).
+    mix = MixtureGNN(dim=64, n_senses=3, epochs=4, walks_per_vertex=4, seed=0)
+    mix.fit(train_graph)
+    user_emb = mix.mixture_embeddings()[:n_users]
+    item_emb = mix.context_embeddings()[n_users:]
+    mix_hr = evaluate_recommendation(
+        user_emb, item_emb, train_items, test_items, ks=[20, 50]
+    )
+
+    # Autoencoder baselines on the raw interaction matrix.
+    from repro.algorithms.autoencoders import _InteractionModel
+
+    interactions = _InteractionModel.interactions_from(
+        train_items, n_users, n_items
+    )
+    results = {"Mixture GNN": mix_hr}
+    for label, model in (
+        ("DAE", DAE(dim=64, hidden=128, epochs=25, seed=0)),
+        ("beta*-VAE", BetaVAE(dim=64, hidden=128, epochs=25, beta=0.2, seed=0)),
+    ):
+        model.fit(interactions)
+        results[label] = evaluate_recommendation(
+            model.user_embeddings(),
+            model.item_embeddings(),
+            train_items,
+            test_items,
+            ks=[20, 50],
+        )
+    for label in ("DAE", "beta*-VAE", "Mixture GNN"):
+        report.add(
+            label,
+            {"hr@20": round(results[label][20], 5), "hr@50": round(results[label][50], 5)},
+            paper=PAPER[label],
+        )
+    return report
+
+
+def test_t9_mixture(benchmark: "pytest.fixture") -> None:
+    report = benchmark.pedantic(_run, iterations=1, rounds=1)
+    emit(report)
+    rows = {r.label: r.measured for r in report.records}
+    for k in ("hr@20", "hr@50"):
+        assert rows["Mixture GNN"][k] > rows["DAE"][k]
+        assert rows["Mixture GNN"][k] > rows["beta*-VAE"][k]
+    # All methods produce non-trivial recall.
+    assert rows["Mixture GNN"]["hr@50"] > 0.05

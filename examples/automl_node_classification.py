@@ -1,0 +1,57 @@
+"""Auto-ML model selection + node classification.
+
+Exercises two of the paper's §7 future-work directions implemented here:
+AutoGNN searches a small candidate zoo on a validation split and refits the
+winner; the resulting embeddings are probed with the node-classification
+task (predicting each product's category) and with category-level subgraph
+embeddings.
+
+Run:  python examples/automl_node_classification.py
+"""
+
+import numpy as np
+
+from repro.algorithms import AutoGNN
+from repro.data import make_dataset
+from repro.tasks import evaluate_node_classification, subgraph_embedding
+
+
+def main() -> None:
+    graph = make_dataset("amazon-sim", scale=0.4, seed=5)
+    n_communities = 20
+    labels = graph.vertex_features[:, :n_communities].argmax(axis=1)
+    print(f"graph: {graph}; {len(np.unique(labels))} category labels\n")
+
+    auto = AutoGNN(validation_fraction=0.15, seed=0)
+    auto.fit(graph)
+    print("candidate search (validation ROC-AUC):")
+    for result in auto.results:
+        status = f"{result.score:5.2f}" if result.fitted else "failed"
+        print(f"  {result.name:14s} {status}")
+    print(f"selected: {auto.best_candidate}\n")
+
+    embeddings = auto.embeddings()
+    micro, macro = evaluate_node_classification(embeddings, labels, seed=0)
+    print(f"node classification with the winner: micro-F1={micro:.1f}% "
+          f"macro-F1={macro:.1f}%")
+
+    # Category-level subgraph embeddings: same-category centroids should be
+    # more self-similar than cross-category ones.
+    centroids = np.stack(
+        [
+            subgraph_embedding(embeddings, np.flatnonzero(labels == c))
+            for c in range(n_communities)
+        ]
+    )
+    centroids /= np.linalg.norm(centroids, axis=1, keepdims=True) + 1e-12
+    sims = centroids @ centroids.T
+    off_diag = sims[~np.eye(n_communities, dtype=bool)]
+    print(
+        f"category centroid cosine: self=1.0 by construction, "
+        f"cross-category mean={off_diag.mean():.3f} "
+        "(well below 1 -> categories are separated in embedding space)"
+    )
+
+
+if __name__ == "__main__":
+    main()

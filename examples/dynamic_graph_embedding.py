@@ -1,0 +1,68 @@
+"""Dynamic graphs: embedding an evolving network and spotting burst links.
+
+Generates a snapshot sequence with labelled normal/burst evolution, fits
+the Evolving GNN (per-snapshot GraphSAGE + VAE/RNN dynamics head), and
+shows that its representation separates burst targets from ordinary
+vertices — the capability behind Table 11.
+
+Run:  python examples/dynamic_graph_embedding.py
+"""
+
+import numpy as np
+
+from repro.algorithms import TNE, EvolvingGNN
+from repro.data import dynamic_taobao
+
+
+def main() -> None:
+    dynamic = dynamic_taobao(
+        n_vertices=400,
+        n_timestamps=5,
+        normal_adds_per_step=150,
+        burst_events_per_step=2,
+        burst_size=40,
+        seed=11,
+    )
+    print(
+        f"{dynamic.n_timestamps} snapshots over {dynamic.n_vertices} vertices; "
+        f"edge counts {[s.n_edges for s in dynamic.snapshots]}; "
+        f"{dynamic.burst_fraction():.1%} of additions are bursts\n"
+    )
+
+    model = EvolvingGNN(dim=32, dynamics_dim=12, sage_epochs=2, head_epochs=40, seed=0)
+    model.fit(dynamic)
+    emb = model.embeddings()
+    print(f"evolving embedding: {emb.shape} (structure + dynamics blocks)")
+
+    # Burst targets of the last transition vs everyone else: their latest
+    # in-degree delta (part of the dynamics block) is anomalous.
+    last_t = dynamic.n_timestamps - 2
+    burst_targets = sorted(
+        {ev.dst for ev in dynamic.events_at(last_t) if ev.burst}
+    )
+    delta_in = emb[:, -2]  # standardized in-degree delta feature
+    others = np.setdiff1d(np.arange(dynamic.n_vertices), burst_targets)
+    print(
+        f"\nlatest in-degree delta: burst targets mean "
+        f"{delta_in[burst_targets].mean():.2f} vs others "
+        f"{delta_in[others].mean():.2f}"
+    )
+
+    # A static spectral baseline has no such signal.
+    tne = TNE(dim=32).fit(dynamic)
+    print(
+        f"\nTNE (static baseline) embedding: {tne.embeddings().shape} — "
+        "per-snapshot factorization with smoothing; no dynamics features"
+    )
+
+    # Rank all vertices by dynamics anomaly; count bursts in the top 20.
+    top = np.argsort(-delta_in)[:20]
+    hits = len(set(int(v) for v in top) & set(burst_targets))
+    print(
+        f"\ntop-20 dynamics-anomaly vertices contain {hits} of "
+        f"{len(burst_targets)} burst targets"
+    )
+
+
+if __name__ == "__main__":
+    main()

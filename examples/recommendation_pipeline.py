@@ -1,0 +1,100 @@
+"""Recommendation on the Taobao-like graph: Mixture GNN + Bayesian priors.
+
+Reproduces the application the paper's introduction motivates — product
+recommendation at an e-commerce platform:
+
+1. split each user's behaviour edges into history and held-out items;
+2. train the Mixture GNN (multi-sense skip-gram) on the training graph and
+   rank items by the model's center-context likelihood score;
+3. compare hit recall against the DAE autoencoder baseline (Table 9);
+4. layer the Bayesian GNN's knowledge-graph correction on top and measure
+   its effect at category granularity (Table 12's mechanism; at this small
+   scale the base recall is near its ceiling, so expect parity-to-small-
+   lift — the bench reproduces the paper's setting).
+
+Run:  python examples/recommendation_pipeline.py
+"""
+
+import numpy as np
+
+from repro.algorithms import DAE, BayesianGNN, MixtureGNN
+from repro.algorithms.autoencoders import _InteractionModel
+from repro.data import knowledge_graph, make_dataset, train_test_split_edges
+from repro.tasks import evaluate_recommendation
+
+
+def interaction_split(graph, seed=0):
+    """Per-user train/test item sets from the behaviour edges."""
+    n_users = int(np.sum(graph.vertex_types == graph.vertex_type_code("user")))
+    split = train_test_split_edges(graph, 0.25, seed=seed)
+    train_items: dict[int, set[int]] = {}
+    test_items: dict[int, set[int]] = {}
+    src, dst, _ = split.train_graph.edge_array()
+    for u, v in zip(src, dst):
+        u, v = int(u), int(v)
+        if u < n_users <= v:
+            train_items.setdefault(u, set()).add(v - n_users)
+    for u, v in split.test_pos:
+        u, v = int(u), int(v)
+        if u < n_users <= v:
+            test_items.setdefault(u, set()).add(v - n_users)
+    test_items = {u: s for u, s in test_items.items() if u in train_items}
+    return split.train_graph, train_items, test_items, n_users
+
+
+def main() -> None:
+    graph = make_dataset("taobao-small-sim", scale=0.3, seed=3)
+    train_graph, train_items, test_items, n_users = interaction_split(graph)
+    n_items = graph.n_vertices - n_users
+    print(
+        f"{n_users} users, {n_items} items, "
+        f"{sum(len(s) for s in train_items.values())} train interactions, "
+        f"{sum(len(s) for s in test_items.values())} held-out interactions\n"
+    )
+
+    # --- Mixture GNN: rank with the model's own likelihood geometry. ----- #
+    mix = MixtureGNN(dim=64, n_senses=3, epochs=3, walks_per_vertex=3, seed=0)
+    mix.fit(train_graph)
+    user_emb = mix.mixture_embeddings()[:n_users]
+    item_emb = mix.context_embeddings()[n_users:]
+    mix_hr = evaluate_recommendation(
+        user_emb, item_emb, train_items, test_items, ks=[20, 50]
+    )
+    print(f"Mixture GNN  HR@20={mix_hr[20]:.4f}  HR@50={mix_hr[50]:.4f}")
+
+    # --- DAE baseline on the raw interaction matrix. --------------------- #
+    interactions = _InteractionModel.interactions_from(train_items, n_users, n_items)
+    dae = DAE(dim=64, hidden=128, epochs=20, seed=0).fit(interactions)
+    dae_hr = evaluate_recommendation(
+        dae.user_embeddings(), dae.item_embeddings(), train_items, test_items,
+        ks=[20, 50],
+    )
+    print(f"DAE          HR@20={dae_hr[20]:.4f}  HR@50={dae_hr[50]:.4f}")
+
+    # --- Bayesian correction at category granularity. -------------------- #
+    tag_dims = 20
+    item_category = graph.vertex_features[n_users:, :tag_dims].argmax(axis=1)
+    kg, _, category_of = knowledge_graph(
+        n_items, n_brands=100, n_categories=tag_dims,
+        category_of=item_category, seed=1,
+    )
+    bayes = BayesianGNN(dim=32, steps=250, seed=0)
+    bayes.fit_correction(item_emb, kg, entity_ids=np.arange(n_items))
+    corrected_items = 0.5 * item_emb + 0.5 * bayes.embeddings()
+    base_cat = evaluate_recommendation(
+        user_emb, item_emb, train_items, test_items, ks=[10, 30],
+        item_group=category_of,
+    )
+    corr_cat = evaluate_recommendation(
+        user_emb, corrected_items, train_items, test_items, ks=[10, 30],
+        item_group=category_of,
+    )
+    print(
+        f"\ncategory-level HR@10: {base_cat[10]:.4f} -> {corr_cat[10]:.4f} "
+        f"with the Bayesian KG correction"
+    )
+    print(f"category-level HR@30: {base_cat[30]:.4f} -> {corr_cat[30]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which require ``wheel``) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path. Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — a from-scratch reproduction of AliGraph (VLDB 2019).
+
+A comprehensive graph neural network platform in pure Python: distributed
+graph storage (partitioning, deduplicating attribute indices, importance-
+based neighbor caching), an optimized sampling layer (TRAVERSE /
+NEIGHBORHOOD / NEGATIVE), an operator layer (AGGREGATE / COMBINE with
+materialization caching), an autograd NN engine, and the full algorithm zoo
+— classic graph embeddings, GNN baselines, and AliGraph's six in-house
+models (AHEP, GATNE, Mixture GNN, Hierarchical GNN, Evolving GNN, Bayesian
+GNN) — plus synthetic Taobao/Amazon data substrates and a benchmark harness
+regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.data import make_dataset, train_test_split_edges
+    from repro.algorithms import GraphSAGE
+    from repro.tasks import evaluate_link_prediction
+
+    graph = make_dataset("taobao-small-sim", scale=0.2)
+    split = train_test_split_edges(graph, test_fraction=0.2)
+    model = GraphSAGE(dim=32, epochs=3).fit(split.train_graph)
+    print(evaluate_link_prediction(model.embeddings(), split))
+"""
+
+__version__ = "0.1.0"
+
+from repro import algorithms, data, graph, nn, ops, sampling, storage, tasks, utils
+from repro.errors import ReproError
+
+__all__ = [
+    "algorithms",
+    "data",
+    "graph",
+    "nn",
+    "ops",
+    "sampling",
+    "storage",
+    "tasks",
+    "utils",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,155 @@
+"""Auto-ML model selection (paper §7, future work #4).
+
+"Auto-ML, which can help to select the optimal method from a variety of
+GNNs" — :class:`AutoGNN` implements the straightforward version: carve a
+validation split out of the training graph, fit every candidate
+configuration, score each on validation link prediction with early
+abandoning of clearly-losing candidates, then refit the winner on the full
+training graph.
+
+Candidates are ``(name, factory)`` pairs so arbitrary models from the zoo
+(or user models honouring the :class:`EmbeddingModel` interface) can enter
+the search. A default candidate set covers the main framework axes
+(aggregator, fan-out, walk-based vs convolutional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.algorithms.base import EmbeddingModel
+from repro.data.splits import train_test_split_edges
+from repro.errors import ReproError, TrainingError
+from repro.graph.graph import Graph
+from repro.tasks.link_prediction import evaluate_link_prediction
+
+
+def default_candidates() -> "list[tuple[str, Callable[[], EmbeddingModel]]]":
+    """A compact search space over the framework's main axes."""
+    from repro.algorithms.deepwalk import DeepWalk
+    from repro.algorithms.framework import GNNFramework
+
+    return [
+        ("deepwalk", lambda: DeepWalk(dim=48, epochs=2, seed=0)),
+        (
+            "sage-mean-f4",
+            lambda: GNNFramework(
+                dim=48, fanout=4, aggregator="mean", epochs=3,
+                max_steps_per_epoch=15, seed=0,
+            ),
+        ),
+        (
+            "sage-mean-f10",
+            lambda: GNNFramework(
+                dim=48, fanout=10, aggregator="mean", epochs=3,
+                max_steps_per_epoch=15, seed=0,
+            ),
+        ),
+        (
+            "sage-maxpool",
+            lambda: GNNFramework(
+                dim=48, fanout=8, aggregator="maxpool", epochs=3,
+                max_steps_per_epoch=15, seed=0,
+            ),
+        ),
+    ]
+
+
+@dataclass
+class CandidateResult:
+    """Validation outcome of one searched candidate."""
+
+    name: str
+    score: float
+    fitted: bool
+
+
+@dataclass
+class AutoGNN(EmbeddingModel):
+    """Validation-driven model selection over a candidate zoo.
+
+    Parameters
+    ----------
+    candidates:
+        ``(name, zero-arg factory)`` pairs; defaults to
+        :func:`default_candidates`.
+    validation_fraction:
+        Edge fraction held out of the input graph for scoring.
+    metric:
+        ``"roc_auc"``, ``"pr_auc"`` or ``"f1"``.
+    min_promising:
+        Candidates scoring more than this many points below the running
+        best are abandoned without a full refit consideration (successive-
+        halving in its simplest form).
+    """
+
+    candidates: "list[tuple[str, Callable[[], EmbeddingModel]]] | None" = None
+    validation_fraction: float = 0.15
+    metric: str = "roc_auc"
+    min_promising: float = 10.0
+    seed: int = 0
+    results: "list[CandidateResult]" = field(default_factory=list)
+
+    name = "auto-gnn"
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("roc_auc", "pr_auc", "f1"):
+            raise TrainingError(f"unknown selection metric {self.metric!r}")
+        self._embeddings = None
+        self._best_name: str | None = None
+
+    def fit(self, graph: Graph) -> "AutoGNN":
+        candidates = (
+            self.candidates if self.candidates is not None else default_candidates()
+        )
+        if not candidates:
+            raise TrainingError("AutoGNN needs at least one candidate")
+        split = train_test_split_edges(
+            graph, test_fraction=self.validation_fraction, seed=self.seed
+        )
+        self.results = []
+        best_score = -float("inf")
+        best_factory: Callable[[], EmbeddingModel] | None = None
+        for name, factory in candidates:
+            model = factory()
+            try:
+                model.fit(split.train_graph)
+                result = evaluate_link_prediction(model.embeddings(), split)
+                score = getattr(result, self.metric)
+                fitted = True
+            except ReproError:
+                # Any library-raised failure (wrong graph kind, schema
+                # mismatch, training blow-up) just disqualifies this
+                # candidate.
+                score = -float("inf")
+                fitted = False
+            self.results.append(CandidateResult(name, score, fitted))
+            if score > best_score:
+                best_score = score
+                best_factory = factory
+                self._best_name = name
+        if best_factory is None:
+            raise TrainingError("no AutoGNN candidate could be fitted")
+        # Abandon losers: keep only results within min_promising of best.
+        self.results = [
+            r
+            for r in self.results
+            if r.score >= best_score - self.min_promising or not r.fitted
+        ]
+        final = best_factory()
+        final.fit(graph)
+        self._embeddings = final.embeddings()
+        self._final_model = final
+        return self
+
+    @property
+    def best_candidate(self) -> str:
+        """Name of the selected candidate (after fit)."""
+        if self._best_name is None:
+            raise TrainingError("AutoGNN is not fitted yet")
+        return self._best_name
+
+    def embeddings(self):
+        self._require_fitted()
+        return self._embeddings

@@ -1,0 +1,97 @@
+"""Shared model interface and the skip-gram training engine.
+
+Half the algorithm zoo (DeepWalk, Node2Vec, Metapath2Vec, PMNE, MVE, MNE,
+GATNE, Mixture GNN, ...) trains some variant of skip-gram with negative
+sampling over walk-derived (center, context) pairs. :func:`train_skipgram`
+is the shared vectorized trainer; models customize how the center embedding
+is *composed* (plain table, multiplex mixture, attribute-augmented, ...) by
+passing an embedding function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.graph.graph import Graph
+from repro.nn.loss import skipgram_negative_loss
+from repro.nn.optim import Adam, Optimizer
+from repro.nn.tensor import Tensor
+from repro.sampling.negative import DegreeBiasedNegativeSampler
+from repro.utils.rng import make_rng
+
+
+class EmbeddingModel:
+    """Interface all embedding algorithms implement."""
+
+    name = "abstract"
+
+    def fit(self, graph: Graph) -> "EmbeddingModel":
+        """Train on ``graph``; returns self for chaining."""
+        raise NotImplementedError
+
+    def embeddings(self) -> np.ndarray:
+        """The ``(n, d)`` embedding matrix of the fitted graph."""
+        raise NotImplementedError
+
+    def _require_fitted(self, attr: str = "_embeddings") -> None:
+        if getattr(self, attr, None) is None:
+            raise TrainingError(f"{type(self).__name__} is not fitted yet")
+
+
+def train_skipgram(
+    pairs: tuple[np.ndarray, np.ndarray],
+    center_fn: Callable[[np.ndarray], Tensor],
+    context_fn: Callable[[np.ndarray], Tensor],
+    optimizer: Optimizer,
+    negative_sampler: DegreeBiasedNegativeSampler,
+    rng: np.random.Generator,
+    epochs: int = 2,
+    batch_size: int = 1024,
+    neg_num: int = 5,
+) -> float:
+    """SGNS training loop shared across the walk-based models.
+
+    ``center_fn(ids)``/``context_fn(ids)`` map id arrays to embedding
+    tensors — models compose arbitrary structure inside them. Returns the
+    final mean batch loss (for convergence assertions in tests).
+    """
+    centers, contexts = pairs
+    if centers.size != contexts.size or centers.size == 0:
+        raise TrainingError("need equal, non-empty center/context arrays")
+    last_loss = float("inf")
+    for _ in range(epochs):
+        perm = rng.permutation(centers.size)
+        losses = []
+        for lo in range(0, centers.size, batch_size):
+            idx = perm[lo : lo + batch_size]
+            c_ids = centers[idx]
+            u_ids = contexts[idx]
+            neg_ids = negative_sampler.sample(c_ids, neg_num, rng).reshape(-1)
+            optimizer.zero_grad()
+            loss = skipgram_negative_loss(
+                center_fn(c_ids), context_fn(u_ids), context_fn(neg_ids)
+            )
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        last_loss = float(np.mean(losses))
+    return last_loss
+
+
+def default_optimizer(params: "list[Tensor]", lr: float = 0.025) -> Optimizer:
+    """The optimizer the walk-based models default to."""
+    return Adam(params, lr=lr)
+
+
+def unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize rows (final embedding post-processing)."""
+    norm = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norm, 1e-12)
+
+
+def make_fit_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Normalize a model's seed argument at fit time."""
+    return make_rng(seed)

@@ -1,0 +1,78 @@
+"""DeepWalk (Perozzi et al., KDD 2014).
+
+Uniform truncated random walks generate a corpus; skip-gram with negative
+sampling learns the embeddings. Purely structural — the baseline the paper's
+Table 1 marks as handling none of heterogeneity/attributes/dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    EmbeddingModel,
+    default_optimizer,
+    train_skipgram,
+    unit_rows,
+)
+from repro.graph.graph import Graph
+from repro.nn.layers import Embedding
+from repro.sampling.negative import DegreeBiasedNegativeSampler
+from repro.sampling.randomwalk import random_walks, walk_context_pairs
+from repro.utils.rng import make_rng
+
+
+class DeepWalk(EmbeddingModel):
+    """Random-walk skip-gram embeddings."""
+
+    name = "deepwalk"
+
+    def __init__(
+        self,
+        dim: int = 64,
+        walks_per_vertex: int = 4,
+        walk_length: int = 10,
+        window: int = 3,
+        epochs: int = 2,
+        neg_num: int = 5,
+        lr: float = 0.025,
+        seed: int = 0,
+    ) -> None:
+        self.dim = dim
+        self.walks_per_vertex = walks_per_vertex
+        self.walk_length = walk_length
+        self.window = window
+        self.epochs = epochs
+        self.neg_num = neg_num
+        self.lr = lr
+        self.seed = seed
+        self._embeddings: np.ndarray | None = None
+        self.final_loss = float("inf")
+
+    def _walks(self, graph: Graph, rng: np.random.Generator):
+        starts = np.tile(graph.vertices(), self.walks_per_vertex)
+        rng.shuffle(starts)
+        return random_walks(graph, starts, self.walk_length, rng)
+
+    def fit(self, graph: Graph) -> "DeepWalk":
+        rng = make_rng(self.seed)
+        pairs = walk_context_pairs(self._walks(graph, rng), self.window)
+        center = Embedding(graph.n_vertices, self.dim, rng)
+        context = Embedding(graph.n_vertices, self.dim, rng)
+        optimizer = default_optimizer(center.parameters() + context.parameters(), self.lr)
+        self.final_loss = train_skipgram(
+            pairs,
+            center_fn=center,
+            context_fn=context,
+            optimizer=optimizer,
+            negative_sampler=DegreeBiasedNegativeSampler(graph),
+            rng=rng,
+            epochs=self.epochs,
+            neg_num=self.neg_num,
+        )
+        self._embeddings = unit_rows(center.table.numpy())
+        return self
+
+    def embeddings(self) -> np.ndarray:
+        self._require_fitted()
+        return self._embeddings

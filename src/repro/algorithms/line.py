@@ -1,0 +1,79 @@
+"""LINE (Tang et al., WWW 2015).
+
+Preserves first-order proximity (directly connected vertices embed close)
+and second-order proximity (vertices with similar neighborhoods embed
+close), each trained by edge sampling with negative sampling; the final
+embedding concatenates the two halves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import EmbeddingModel, unit_rows
+from repro.graph.graph import Graph
+from repro.nn.layers import Embedding
+from repro.nn.loss import skipgram_negative_loss
+from repro.nn.optim import Adam
+from repro.sampling.negative import DegreeBiasedNegativeSampler
+from repro.sampling.traverse import EdgeTraverseSampler
+from repro.utils.rng import make_rng
+
+
+class LINE(EmbeddingModel):
+    """First + second order proximity embeddings."""
+
+    name = "line"
+
+    def __init__(
+        self,
+        dim: int = 64,
+        steps: int = 300,
+        batch_size: int = 1024,
+        neg_num: int = 5,
+        lr: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if dim % 2:
+            raise ValueError("LINE splits dim across two orders; use an even dim")
+        self.dim = dim
+        self.steps = steps
+        self.batch_size = batch_size
+        self.neg_num = neg_num
+        self.lr = lr
+        self.seed = seed
+        self._embeddings: np.ndarray | None = None
+
+    def fit(self, graph: Graph) -> "LINE":
+        rng = make_rng(self.seed)
+        half = self.dim // 2
+        n = graph.n_vertices
+        first = Embedding(n, half, rng)
+        second = Embedding(n, half, rng)
+        second_ctx = Embedding(n, half, rng)
+        optimizer = Adam(
+            first.parameters() + second.parameters() + second_ctx.parameters(),
+            lr=self.lr,
+        )
+        edges = EdgeTraverseSampler(graph, weighted=True)
+        negs = DegreeBiasedNegativeSampler(graph)
+        for _ in range(self.steps):
+            src, dst = edges.sample(self.batch_size, rng)
+            neg_ids = negs.sample(src, self.neg_num, rng).reshape(-1)
+            optimizer.zero_grad()
+            # 1st order: symmetric affinity between endpoint embeddings.
+            loss1 = skipgram_negative_loss(first(src), first(dst), first(neg_ids))
+            # 2nd order: source embedding vs context-role destination.
+            loss2 = skipgram_negative_loss(
+                second(src), second_ctx(dst), second_ctx(neg_ids)
+            )
+            (loss1 + loss2).backward()
+            optimizer.step()
+        self._embeddings = unit_rows(
+            np.concatenate([first.table.numpy(), second.table.numpy()], axis=1)
+        )
+        return self
+
+    def embeddings(self) -> np.ndarray:
+        self._require_fitted()
+        return self._embeddings

@@ -1,0 +1,31 @@
+"""node2vec (Grover & Leskovec, KDD 2016).
+
+DeepWalk with the 2nd-order biased walk: return parameter ``p`` and in-out
+parameter ``q`` interpolate between BFS- and DFS-like exploration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.deepwalk import DeepWalk
+from repro.graph.graph import Graph
+from repro.sampling.randomwalk import node2vec_walks
+
+
+class Node2Vec(DeepWalk):
+    """Biased-walk skip-gram embeddings."""
+
+    name = "node2vec"
+
+    def __init__(self, p: float = 0.5, q: float = 2.0, **kwargs: object) -> None:
+        super().__init__(**kwargs)
+        self.p = p
+        self.q = q
+
+    def _walks(self, graph: Graph, rng: np.random.Generator):
+        starts = np.tile(graph.vertices(), self.walks_per_vertex)
+        rng.shuffle(starts)
+        return node2vec_walks(
+            graph, starts, self.walk_length, rng, p=self.p, q=self.q
+        )

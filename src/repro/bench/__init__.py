@@ -1,0 +1,11 @@
+"""Benchmark harness: experiment records and report rendering.
+
+Each benchmark module under ``benchmarks/`` regenerates one table or figure
+of the paper; this package holds the shared scaffolding — result records
+carrying the paper's reference numbers alongside the measured ones, and the
+renderer that prints them side by side.
+"""
+
+from repro.bench.harness import ExperimentRecord, ExperimentReport
+
+__all__ = ["ExperimentRecord", "ExperimentReport"]

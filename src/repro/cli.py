@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``dataset``   generate a named synthetic dataset and save it as ``.npz``
+``train``     fit a model on a dataset and save the embeddings
+``evaluate``  link-prediction evaluation of saved embeddings
+``info``      print a dataset's summary statistics
+
+The CLI covers the adopt-and-script path: generate once, train many models
+against the same artifact, compare evaluations — without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.data import make_dataset, train_test_split_edges
+from repro.errors import ReproError
+from repro.graph.io import load_ahg, save_ahg
+from repro.tasks import evaluate_link_prediction
+
+#: Models reachable from the CLI (name -> factory taking dim/epochs/seed).
+def _model_factories():
+    from repro.algorithms import (
+        GATNE,
+        AutoGNN,
+        DeepWalk,
+        GraphSAGE,
+        HierarchicalGNN,
+        LINE,
+        MixtureGNN,
+        NetMF,
+        Node2Vec,
+    )
+
+    return {
+        "deepwalk": lambda a: DeepWalk(dim=a.dim, epochs=a.epochs, seed=a.seed),
+        "node2vec": lambda a: Node2Vec(dim=a.dim, epochs=a.epochs, seed=a.seed),
+        "line": lambda a: LINE(dim=a.dim, seed=a.seed),
+        "netmf": lambda a: NetMF(dim=a.dim),
+        "graphsage": lambda a: GraphSAGE(dim=a.dim, epochs=a.epochs, seed=a.seed),
+        "gatne": lambda a: GATNE(dim=a.dim, epochs=a.epochs, seed=a.seed),
+        "mixture-gnn": lambda a: MixtureGNN(dim=a.dim, epochs=a.epochs, seed=a.seed),
+        "hierarchical-gnn": lambda a: HierarchicalGNN(dim=a.dim, seed=a.seed),
+        "auto": lambda a: AutoGNN(seed=a.seed),
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AliGraph reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ds = sub.add_parser("dataset", help="generate and save a synthetic dataset")
+    p_ds.add_argument("name", help="dataset name, e.g. taobao-small-sim")
+    p_ds.add_argument("output", help="output .npz path")
+    p_ds.add_argument("--scale", type=float, default=1.0)
+    p_ds.add_argument("--seed", type=int, default=0)
+
+    p_info = sub.add_parser("info", help="print a saved dataset's statistics")
+    p_info.add_argument("path", help=".npz dataset path")
+
+    p_tr = sub.add_parser("train", help="fit a model, save embeddings")
+    p_tr.add_argument("model", help="model name (see --list via error message)")
+    p_tr.add_argument("dataset", help=".npz dataset path")
+    p_tr.add_argument("output", help="output .npz embeddings path")
+    p_tr.add_argument("--dim", type=int, default=64)
+    p_tr.add_argument("--epochs", type=int, default=2)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument(
+        "--holdout",
+        type=float,
+        default=0.0,
+        help="hide this edge fraction before training (for later evaluate)",
+    )
+
+    p_ev = sub.add_parser("evaluate", help="link-prediction metrics of embeddings")
+    p_ev.add_argument("embeddings", help=".npz embeddings path (from train)")
+    p_ev.add_argument("dataset", help=".npz dataset path")
+    p_ev.add_argument("--holdout", type=float, default=0.2)
+    p_ev.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    graph = make_dataset(args.name, scale=args.scale, seed=args.seed)
+    save_ahg(graph, args.output)
+    print(f"wrote {args.output}: {graph.describe()}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = load_ahg(args.path)
+    for key, value in graph.describe().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    factories = _model_factories()
+    if args.model not in factories:
+        print(
+            f"unknown model {args.model!r}; available: {', '.join(sorted(factories))}",
+            file=sys.stderr,
+        )
+        return 2
+    graph = load_ahg(args.dataset)
+    if args.holdout > 0:
+        split = train_test_split_edges(graph, args.holdout, seed=args.seed)
+        train_graph = split.train_graph
+    else:
+        train_graph = graph
+    model = factories[args.model](args)
+    model.fit(train_graph)
+    embeddings = model.embeddings()
+    np.savez_compressed(
+        args.output,
+        embeddings=embeddings,
+        model=np.array([args.model]),
+        holdout=np.array([args.holdout]),
+        seed=np.array([args.seed]),
+    )
+    print(
+        f"wrote {args.output}: {embeddings.shape[0]} x {embeddings.shape[1]} "
+        f"embeddings from {args.model}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = load_ahg(args.dataset)
+    with np.load(args.embeddings) as data:
+        embeddings = data["embeddings"]
+    if embeddings.shape[0] != graph.n_vertices:
+        print(
+            f"embedding rows ({embeddings.shape[0]}) != graph vertices "
+            f"({graph.n_vertices})",
+            file=sys.stderr,
+        )
+        return 2
+    split = train_test_split_edges(graph, args.holdout, seed=args.seed)
+    result = evaluate_link_prediction(embeddings, split)
+    print(
+        f"ROC-AUC={result.roc_auc:.2f}%  PR-AUC={result.pr_auc:.2f}%  "
+        f"F1={result.f1:.2f}%"
+    )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "dataset": _cmd_dataset,
+        "info": _cmd_info,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro (AliGraph reproduction) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad vertex, malformed edge, ...)."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id was requested that does not exist in the graph."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} not found in graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge was requested that does not exist in the graph."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"edge ({src!r}, {dst!r}) not found in graph")
+        self.src = src
+        self.dst = dst
+
+
+class SchemaError(GraphError):
+    """Vertex/edge type or attribute schema violated (AHG constraints)."""
+
+
+class StorageError(ReproError):
+    """Problem inside the distributed storage layer."""
+
+
+class PartitionError(StorageError):
+    """A partitioner was misconfigured or produced an invalid assignment."""
+
+
+class SamplingError(ReproError):
+    """A sampler was misconfigured or asked for an impossible sample."""
+
+
+class OperatorError(ReproError):
+    """An AGGREGATE/COMBINE operator was misused."""
+
+
+class TrainingError(ReproError):
+    """A model failed during training (diverged, bad shapes, ...)."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader was misconfigured."""

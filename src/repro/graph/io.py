@@ -1,0 +1,132 @@
+"""Graph serialization: TSV edge lists + npz attribute bundles.
+
+AliGraph "supports various kinds of raw data from different file systems";
+here we provide the two formats the build benchmark (Figure 7) ingests:
+a plain ``src\\tdst\\tweight[\\tetype]`` edge-list file and an ``.npz``
+side-car with vertex types and feature matrices.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.ahg import AttributedHeterogeneousGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+
+def write_edge_list(graph: Graph, path: str) -> None:
+    """Write ``graph`` as a TSV edge list (with edge types for AHGs)."""
+    is_ahg = isinstance(graph, AttributedHeterogeneousGraph)
+    src, dst, w = graph.edge_array()
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# n_vertices={graph.n_vertices} directed={int(graph.directed)}\n")
+        for i in range(src.size):
+            line = f"{src[i]}\t{dst[i]}\t{w[i]:.6g}"
+            if is_ahg:
+                line += f"\t{graph.edge_type_names[graph.edge_types[i]]}"
+            f.write(line + "\n")
+
+
+def read_edge_list(path: str) -> Graph:
+    """Read a TSV edge list written by :func:`write_edge_list`.
+
+    Returns a plain :class:`Graph` (edge types, if present, are preserved
+    through a builder — use :func:`read_edge_list_ahg` to keep them).
+    """
+    builder, n_vertices, directed = _read_into_builder(path)
+    graph = builder.build()
+    if graph.n_vertices < n_vertices:
+        # Re-pad: isolated vertices do not appear in the edge list.
+        src, dst, w = graph.edge_array()
+        graph = Graph(n_vertices, src, dst, weights=w, directed=directed)
+    return graph
+
+
+def read_edge_list_ahg(path: str) -> AttributedHeterogeneousGraph:
+    """Read a typed TSV edge list as an AHG (vertex types all 'default')."""
+    builder, _, _ = _read_into_builder(path)
+    return builder.build_ahg()
+
+
+def _read_into_builder(path: str) -> tuple[GraphBuilder, int, bool]:
+    if not os.path.exists(path):
+        raise DatasetError(f"edge list file not found: {path}")
+    n_vertices = 0
+    directed = True
+    builder: GraphBuilder | None = None
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    key, _, value = token.partition("=")
+                    if key == "n_vertices":
+                        n_vertices = int(value)
+                    elif key == "directed":
+                        directed = bool(int(value))
+                continue
+            if builder is None:
+                builder = GraphBuilder(directed=directed)
+                for v in range(n_vertices):
+                    builder.add_vertex(v)
+            parts = line.split("\t")
+            if len(parts) < 2:
+                raise DatasetError(f"{path}:{lineno}: malformed edge line {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            weight = float(parts[2]) if len(parts) > 2 else 1.0
+            etype = parts[3] if len(parts) > 3 else "default"
+            builder.add_edge(u, v, weight=weight, etype=etype)
+    if builder is None:
+        builder = GraphBuilder(directed=directed)
+        for v in range(n_vertices):
+            builder.add_vertex(v)
+    return builder, n_vertices, directed
+
+
+def save_ahg(graph: AttributedHeterogeneousGraph, path: str) -> None:
+    """Persist a full AHG (structure + types + features) to one ``.npz``."""
+    src, dst, w = graph.edge_array()
+    payload: dict[str, np.ndarray] = {
+        "n_vertices": np.array([graph.n_vertices]),
+        "directed": np.array([int(graph.directed)]),
+        "src": src,
+        "dst": dst,
+        "weights": w,
+        "vertex_types": graph.vertex_types,
+        "edge_types": graph.edge_types,
+        "vertex_type_names": np.array(graph.vertex_type_names),
+        "edge_type_names": np.array(graph.edge_type_names),
+    }
+    if graph.vertex_features is not None:
+        payload["vertex_features"] = graph.vertex_features
+    if graph.edge_features is not None:
+        payload["edge_features"] = graph.edge_features
+    np.savez_compressed(path, **payload)
+
+
+def load_ahg(path: str) -> AttributedHeterogeneousGraph:
+    """Load an AHG written by :func:`save_ahg`."""
+    if not os.path.exists(path):
+        raise DatasetError(f"AHG bundle not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        vertex_features = data["vertex_features"] if "vertex_features" in data else None
+        edge_features = data["edge_features"] if "edge_features" in data else None
+        return AttributedHeterogeneousGraph(
+            n_vertices=int(data["n_vertices"][0]),
+            src=data["src"],
+            dst=data["dst"],
+            vertex_types=data["vertex_types"],
+            edge_types=data["edge_types"],
+            vertex_type_names=[str(s) for s in data["vertex_type_names"]],
+            edge_type_names=[str(s) for s in data["edge_type_names"]],
+            weights=data["weights"],
+            directed=bool(data["directed"][0]),
+            vertex_features=vertex_features,
+            edge_features=edge_features,
+        )

@@ -1,0 +1,46 @@
+"""Minimal reverse-mode autograd NN engine on numpy.
+
+The paper trains its models on TensorFlow atop the AliGraph runtime; this
+package is the from-scratch substitute: a :class:`Tensor` with reverse-mode
+autodiff, the layers the in-house models need (dense, embedding, GRU/LSTM,
+self-attention), losses (BCE, CE, skip-gram with negative sampling, VAE
+ELBO) and optimizers (SGD/Adam/Adagrad). Everything is float64 numpy —
+small-graph scale, gradient-checkable, deterministic.
+"""
+
+from repro.nn import functional
+from repro.nn.init import he_uniform, xavier_uniform
+from repro.nn.layers import Dense, Dropout, Embedding, LayerNorm, Module, Sequential
+from repro.nn.loss import (
+    bce_with_logits,
+    cross_entropy,
+    gaussian_kl,
+    mse,
+    skipgram_negative_loss,
+)
+from repro.nn.optim import SGD, Adagrad, Adam
+from repro.nn.rnn import GRUCell, LSTMCell
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Tensor",
+    "functional",
+    "Module",
+    "Dense",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "GRUCell",
+    "LSTMCell",
+    "SGD",
+    "Adam",
+    "Adagrad",
+    "xavier_uniform",
+    "he_uniform",
+    "bce_with_logits",
+    "cross_entropy",
+    "mse",
+    "skipgram_negative_loss",
+    "gaussian_kl",
+]

@@ -1,0 +1,44 @@
+"""Self-attention (Lin et al. 2017), as used by GATNE's edge-type mixing.
+
+GATNE computes per-edge-type coefficients over a vertex's ``t`` meta-specific
+embeddings with the structured self-attention of [36]::
+
+    a = softmax(w2 @ tanh(W1 @ G^T))          (one attention head)
+
+where ``G`` is the ``(t, d)`` stack of meta-specific embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import xavier_uniform
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class SelfAttention(Module):
+    """Single-head structured self-attention producing mixing weights.
+
+    ``forward`` takes a ``(t, d)`` matrix of embeddings and returns a
+    ``(t,)`` weight vector summing to 1.
+    """
+
+    def __init__(self, dim: int, attn_dim: int, rng: np.random.Generator) -> None:
+        self.w1 = Tensor(
+            xavier_uniform((dim, attn_dim), rng), requires_grad=True, name="attn_W1"
+        )
+        self.w2 = Tensor(
+            xavier_uniform((attn_dim,), rng), requires_grad=True, name="attn_w2"
+        )
+
+    def forward(self, embeddings: Tensor) -> Tensor:
+        hidden = F.tanh(embeddings @ self.w1)  # (t, attn_dim)
+        scores = hidden @ self.w2  # (t,)
+        return F.softmax(scores, axis=-1)
+
+    def mix(self, embeddings: Tensor) -> Tensor:
+        """Attention-weighted sum of the rows: ``(t, d) -> (d,)``."""
+        weights = self.forward(embeddings)  # (t,)
+        return weights @ embeddings

@@ -1,0 +1,61 @@
+"""Numerical gradient checking for the autograd engine.
+
+Central-difference verification used by the test suite on every op and
+layer: build a scalar loss from tensors, compare ``backward()`` gradients to
+finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor], param: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of the scalar ``fn()`` w.r.t. ``param``."""
+    grad = np.zeros_like(param.data)
+    flat = param.data.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn().item()
+        flat[i] = original - eps
+        down = fn().item()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    params: "list[Tensor]",
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> "list[float]":
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Returns the max absolute error per parameter; raises AssertionError on
+    any mismatch (so pytest failure messages carry the exact deltas).
+    """
+    for p in params:
+        p.zero_grad()
+    loss = fn()
+    loss.backward()
+    errors = []
+    for p in params:
+        assert p.grad is not None, f"no gradient reached parameter {p!r}"
+        numeric = numerical_gradient(fn, p, eps=eps)
+        err = float(np.max(np.abs(p.grad - numeric)))
+        errors.append(err)
+        np.testing.assert_allclose(
+            p.grad, numeric, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for {p!r}",
+        )
+    return errors

@@ -1,0 +1,104 @@
+"""Optimizers: SGD (with momentum), Adam, Adagrad."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: "list[Tensor]", lr: float) -> None:
+        if lr <= 0:
+            raise TrainingError(f"learning rate must be positive, got {lr}")
+        if not params:
+            raise TrainingError("optimizer got an empty parameter list")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla / momentum SGD."""
+
+    def __init__(
+        self, params: "list[Tensor]", lr: float = 0.1, momentum: float = 0.0
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        params: "list[Tensor]",
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (p.grad**2)
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+
+class Adagrad(Optimizer):
+    """Adagrad — the classic choice for sparse embedding tables."""
+
+    def __init__(
+        self, params: "list[Tensor]", lr: float = 0.1, eps: float = 1e-8
+    ) -> None:
+        super().__init__(params, lr)
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        for p, acc in zip(self.params, self._accum):
+            if p.grad is None:
+                continue
+            acc += p.grad**2
+            p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)

@@ -1,0 +1,76 @@
+"""Recurrent cells: GRU and LSTM.
+
+Used three ways in the algorithm layer: the LSTM AGGREGATE operator
+(GraphSAGE-LSTM), the GRU COMBINE operator, and the RNN half of the
+Evolving GNN's dynamics predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Dense, Module
+from repro.nn.tensor import Tensor
+
+
+class GRUCell(Module):
+    """Gated recurrent unit: ``h' = (1-z)*h + z*h_tilde``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        self.hidden_dim = hidden_dim
+        self.z_gate = Dense(input_dim + hidden_dim, hidden_dim, rng, "sigmoid")
+        self.r_gate = Dense(input_dim + hidden_dim, hidden_dim, rng, "sigmoid")
+        self.candidate = Dense(input_dim + hidden_dim, hidden_dim, rng, "tanh")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = F.concat([x, h], axis=-1)
+        z = self.z_gate(xh)
+        r = self.r_gate(xh)
+        h_tilde = self.candidate(F.concat([x, r * h], axis=-1))
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * h + z * h_tilde
+
+    def init_state(self, batch: int) -> Tensor:
+        """All-zero initial hidden state."""
+        return Tensor(np.zeros((batch, self.hidden_dim)))
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell returning ``(h', c')``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        self.hidden_dim = hidden_dim
+        self.f_gate = Dense(input_dim + hidden_dim, hidden_dim, rng, "sigmoid")
+        self.i_gate = Dense(input_dim + hidden_dim, hidden_dim, rng, "sigmoid")
+        self.o_gate = Dense(input_dim + hidden_dim, hidden_dim, rng, "sigmoid")
+        self.g_gate = Dense(input_dim + hidden_dim, hidden_dim, rng, "tanh")
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> "tuple[Tensor, Tensor]":
+        xh = F.concat([x, h], axis=-1)
+        f = self.f_gate(xh)
+        i = self.i_gate(xh)
+        o = self.o_gate(xh)
+        g = self.g_gate(xh)
+        c_new = f * c + i * g
+        h_new = o * F.tanh(c_new)
+        return h_new, c_new
+
+    def init_state(self, batch: int) -> "tuple[Tensor, Tensor]":
+        """All-zero initial (h, c)."""
+        zeros = np.zeros((batch, self.hidden_dim))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+def lstm_over_sequence(
+    cell: LSTMCell, steps: "list[Tensor]"
+) -> Tensor:
+    """Run ``cell`` over a list of ``(batch, d)`` steps; return final h.
+
+    The order-invariance trick GraphSAGE uses (random neighbor order) is the
+    caller's responsibility.
+    """
+    h, c = cell.init_state(steps[0].shape[0])
+    for x in steps:
+        h, c = cell(x, h, c)
+    return h

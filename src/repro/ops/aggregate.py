@@ -1,0 +1,137 @@
+"""AGGREGATE implementations (paper §3.4).
+
+All take the flattened neighbor-state matrix ``(batch * fanout, d_in)`` plus
+the fanout, and emit ``(batch, d_out)``. The paper names element-wise mean,
+max-pooling neural network and LSTM as the aggregating methods used across
+GNNs; we add sum and (GAT-style) attention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OperatorError
+from repro.nn import functional as F
+from repro.nn.layers import Dense
+from repro.nn.rnn import LSTMCell
+from repro.nn.tensor import Tensor
+from repro.ops.base import Aggregator, register_aggregator
+
+
+@register_aggregator
+class MeanAggregator(Aggregator):
+    """Weighted element-wise mean followed by a dense transform
+    (GraphSAGE-mean)."""
+
+    name = "mean"
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        self.dense = Dense(in_dim, out_dim, rng, activation="relu")
+
+    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
+        pooled = F.mean_rows_segmented(neighbor_states, fanout)
+        return self.dense(pooled)
+
+
+@register_aggregator
+class SumAggregator(Aggregator):
+    """Sum pooling followed by a dense transform (GCN-style, un-normalized)."""
+
+    name = "sum"
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        self.dense = Dense(in_dim, out_dim, rng, activation="relu")
+
+    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
+        pooled = F.mean_rows_segmented(neighbor_states, fanout) * float(fanout)
+        return self.dense(pooled)
+
+
+@register_aggregator
+class MaxPoolAggregator(Aggregator):
+    """Max-pooling neural network (GraphSAGE-pool).
+
+    Each neighbor state runs through a dense layer, then element-wise max
+    over the segment.
+    """
+
+    name = "maxpool"
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        pool_dim: int | None = None,
+    ) -> None:
+        pool_dim = pool_dim or out_dim
+        self.pre = Dense(in_dim, pool_dim, rng, activation="relu")
+        self.post = Dense(pool_dim, out_dim, rng)
+
+    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
+        transformed = self.pre(neighbor_states)
+        pooled = F.max_rows_segmented(transformed, fanout)
+        return self.post(pooled)
+
+
+@register_aggregator
+class LSTMAggregator(Aggregator):
+    """LSTM over the (randomly ordered) neighbor sequence (GraphSAGE-LSTM)."""
+
+    name = "lstm"
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        self.cell = LSTMCell(in_dim, out_dim, rng)
+
+    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
+        n, d = neighbor_states.shape
+        if n % fanout:
+            raise OperatorError(f"{n} rows not divisible by fanout {fanout}")
+        batch = n // fanout
+        h, c = self.cell.init_state(batch)
+        for step in range(fanout):
+            # Row i*fanout + step is vertex i's step-th neighbor.
+            idx = np.arange(batch) * fanout + step
+            x = neighbor_states.gather_rows(idx)
+            h, c = self.cell(x, h, c)
+        return h
+
+
+@register_aggregator
+class AttentionAggregator(Aggregator):
+    """Attention-weighted neighbor mean (single-head, GAT-flavoured).
+
+    Scores each neighbor with a learned vector over its transformed state
+    and softmax-normalizes within the segment.
+    """
+
+    name = "attention"
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        self.transform = Dense(in_dim, out_dim, rng)
+        self.score = Dense(out_dim, 1, rng, bias=False)
+
+    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
+        n, _ = neighbor_states.shape
+        if n % fanout:
+            raise OperatorError(f"{n} rows not divisible by fanout {fanout}")
+        batch = n // fanout
+        transformed = self.transform(neighbor_states)  # (n, out)
+        raw = self.score(F.tanh(transformed)).reshape(batch, fanout)
+        weights = F.softmax(raw, axis=-1).reshape(n, 1)
+        weighted = transformed * weights
+        return F.mean_rows_segmented(weighted, fanout) * float(fanout)
+
+
+def make_aggregator(
+    name: str, in_dim: int, out_dim: int, rng: np.random.Generator, **kwargs: object
+) -> Aggregator:
+    """Instantiate a registered aggregator by name."""
+    from repro.ops.base import AGGREGATOR_REGISTRY
+
+    try:
+        cls = AGGREGATOR_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(AGGREGATOR_REGISTRY))
+        raise OperatorError(f"unknown aggregator {name!r} (known: {known})") from None
+    return cls(in_dim, out_dim, rng, **kwargs)

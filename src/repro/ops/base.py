@@ -1,0 +1,49 @@
+"""Operator plugin registries.
+
+Mirrors the paper's design: AGGREGATE and COMBINE "are plugins of AliGraph,
+which can be implemented independently"; a typical operator has forward and
+backward computations so it slots into an end-to-end network. Forward lives
+in each operator's ``forward``; backward comes for free from the autograd
+engine, so registering an operator only requires naming it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OperatorError
+from repro.nn.layers import Module
+
+AGGREGATOR_REGISTRY: dict[str, type] = {}
+COMBINER_REGISTRY: dict[str, type] = {}
+
+
+def register_aggregator(cls: type) -> type:
+    """Class decorator adding an AGGREGATE implementation to the registry."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise OperatorError("aggregators must define a class attribute 'name'")
+    AGGREGATOR_REGISTRY[name] = cls
+    return cls
+
+
+def register_combiner(cls: type) -> type:
+    """Class decorator adding a COMBINE implementation to the registry."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise OperatorError("combiners must define a class attribute 'name'")
+    COMBINER_REGISTRY[name] = cls
+    return cls
+
+
+class Aggregator(Module):
+    """AGGREGATE: maps ``(batch*fanout, d_in)`` neighbor states to
+    ``(batch, d_out)``."""
+
+    name = "abstract"
+    out_multiplier = 1  # out_dim = out_multiplier * hidden (informational)
+
+
+class Combiner(Module):
+    """COMBINE: merges ``(batch, d_self)`` with ``(batch, d_neigh)`` into
+    ``(batch, d_out)``."""
+
+    name = "abstract"

@@ -1,0 +1,114 @@
+"""Sampler plugin interface and neighbor providers.
+
+Samplers are plugins (paper: "we treat all samplers as plugins. Each of them
+can be implemented independently") with two halves:
+
+* ``sample(...)`` — the forward computation;
+* ``backward(feedback)`` — the update path. The paper implements dynamic
+  sampling weights "in a sampler's backward computation, just like gradient
+  back propagation of an operator": callers register an update function and
+  feed it feedback; weighted samplers use it to adjust their distributions.
+
+Neighborhood samplers read adjacency through a :class:`NeighborProvider`, so
+the same sampler runs against a plain in-memory :class:`Graph` or against the
+distributed store (with local/cache/remote accounting), matching the paper's
+"one-hop neighbors from local storage, multi-hop from local cache, else a
+call to a remote graph server".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graph.graph import Graph
+
+
+class Sampler:
+    """Base class for all samplers (TRAVERSE / NEIGHBORHOOD / NEGATIVE)."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._update_fn: Callable[..., None] | None = None
+
+    def register_update_fn(self, fn: Callable[..., None]) -> None:
+        """Register the backward (weight update) function of this sampler."""
+        self._update_fn = fn
+
+    def backward(self, *args: object, **kwargs: object) -> None:
+        """Run the registered update function (no-op when none registered).
+
+        Synchronous vs asynchronous application is the training loop's
+        choice (paper: "the updating mode ... is due to the training
+        algorithm"); here backward applies immediately when called.
+        """
+        if self._update_fn is not None:
+            self._update_fn(*args, **kwargs)
+
+
+class NeighborProvider:
+    """Adjacency access abstraction consumed by neighborhood samplers."""
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Out-neighbor ids of ``vertex``."""
+        raise NotImplementedError
+
+    def weights(self, vertex: int) -> np.ndarray:
+        """Edge weights aligned with :meth:`neighbors`."""
+        raise NotImplementedError
+
+    @property
+    def n_vertices(self) -> int:
+        """Total vertices addressable through this provider."""
+        raise NotImplementedError
+
+
+class GraphProvider(NeighborProvider):
+    """Direct in-memory adjacency access (single-machine path)."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.graph.out_neighbors(vertex)
+
+    def weights(self, vertex: int) -> np.ndarray:
+        return self.graph.out_weights(vertex)
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+
+class StoreProvider(NeighborProvider):
+    """Adjacency access through the distributed store, as one worker.
+
+    Every read is routed (and priced) by the store: local shard, neighbor
+    cache, or remote RPC. ``from_part`` identifies the issuing worker.
+    Weights for remote vertices are uniform — shipping weight vectors is a
+    cost the paper's samplers avoid by using cached/dynamic local weights.
+    """
+
+    def __init__(self, store: "object", from_part: int) -> None:
+        # Typed loosely to avoid a circular import with repro.storage.
+        self.store = store
+        self.from_part = from_part
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.store.neighbors(vertex, from_part=self.from_part)
+
+    def weights(self, vertex: int) -> np.ndarray:
+        return np.ones(self.neighbors(vertex).size, dtype=np.float64)
+
+    @property
+    def n_vertices(self) -> int:
+        return self.store.graph.n_vertices
+
+
+def check_batch_size(batch_size: int) -> None:
+    """Shared validation for sampler batch sizes."""
+    if batch_size < 1:
+        raise SamplingError(f"batch size must be positive, got {batch_size}")

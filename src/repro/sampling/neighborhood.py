@@ -1,0 +1,260 @@
+"""NEIGHBORHOOD samplers: per-vertex context generation (paper §3.3).
+
+A neighborhood sampler expands a batch of vertices hop by hop with aligned
+fan-outs (``hop_nums``), producing the context the AGGREGATE/COMBINE
+operators consume. Variants reproduce the sampling strategies of the GNNs in
+the paper's Table 1:
+
+* :class:`UniformNeighborSampler` — GraphSAGE's node-wise uniform sampling;
+* :class:`WeightedNeighborSampler` — edge-weight proportional draws through
+  alias tables, with *dynamic weights*: ``backward`` nudges per-edge sampling
+  weights like a gradient step (the paper's trainable sampler);
+* :class:`TopKNeighborSampler` — deterministic heaviest-k (AHEP-style
+  importance pruning);
+* :class:`ImportanceNeighborSampler` — degree-proportional importance
+  sampling in the FastGCN/AS-GCN family, with inclusion-probability
+  weights exposed for variance correction;
+* :class:`FullNeighborSampler` — no sampling (exact GCN), with a fan-out cap
+  as a safety valve on power-law hubs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.sampling.base import NeighborProvider, Sampler
+from repro.utils.alias import AliasTable
+
+
+@dataclass
+class NeighborhoodSample:
+    """Multi-hop context of a vertex batch.
+
+    ``layers[0]`` is the seed batch; ``layers[k]`` holds the hop-k context,
+    flattened so that the ``hop_nums[k-1]`` samples for ``layers[k-1][i]``
+    sit at ``layers[k][i * hop_nums[k-1] : (i+1) * hop_nums[k-1]]``. Padding
+    for vertices with no neighbors repeats the vertex itself (self-loop
+    semantics), recorded in ``pad_mask``.
+    """
+
+    layers: list[np.ndarray]
+    hop_nums: list[int]
+    pad_masks: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        """Seed batch size."""
+        return int(self.layers[0].size)
+
+    @property
+    def n_hops(self) -> int:
+        """Number of expanded hops."""
+        return len(self.layers) - 1
+
+    def hop(self, k: int) -> np.ndarray:
+        """Hop-k layer reshaped to ``(len(layers[k-1]), hop_nums[k-1])``."""
+        if not 1 <= k <= self.n_hops:
+            raise SamplingError(f"hop {k} out of range [1, {self.n_hops}]")
+        return self.layers[k].reshape(self.layers[k - 1].size, self.hop_nums[k - 1])
+
+    def all_vertices(self) -> np.ndarray:
+        """Unique vertex ids appearing anywhere in the sample."""
+        return np.unique(np.concatenate(self.layers))
+
+
+class _ExpandingSampler(Sampler):
+    """Shared multi-hop expansion loop; subclasses pick per-vertex samples."""
+
+    def __init__(self, provider: NeighborProvider) -> None:
+        super().__init__()
+        self.provider = provider
+
+    def _sample_one(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return exactly ``count`` neighbor ids for ``vertex``.
+
+        Vertices without neighbors are padded with themselves.
+        """
+        raise NotImplementedError
+
+    def sample(
+        self,
+        batch: np.ndarray,
+        hop_nums: "list[int]",
+        rng: np.random.Generator,
+    ) -> NeighborhoodSample:
+        """Expand ``batch`` by ``hop_nums`` fan-outs per hop."""
+        batch = np.asarray(batch, dtype=np.int64)
+        if batch.size == 0:
+            raise SamplingError("cannot expand an empty batch")
+        if not hop_nums or any(h < 1 for h in hop_nums):
+            raise SamplingError(f"hop_nums must be positive, got {hop_nums}")
+        layers = [batch]
+        pad_masks: list[np.ndarray] = []
+        for fanout in hop_nums:
+            prev = layers[-1]
+            out = np.empty(prev.size * fanout, dtype=np.int64)
+            pad = np.zeros(prev.size * fanout, dtype=bool)
+            for i, v in enumerate(prev):
+                v = int(v)
+                picked = self._sample_one(v, fanout, rng)
+                out[i * fanout : (i + 1) * fanout] = picked
+                pad[i * fanout : (i + 1) * fanout] = picked == v
+            layers.append(out)
+            pad_masks.append(pad)
+        return NeighborhoodSample(layers=layers, hop_nums=list(hop_nums), pad_masks=pad_masks)
+
+
+class UniformNeighborSampler(_ExpandingSampler):
+    """GraphSAGE-style uniform with-replacement neighbor sampling."""
+
+    name = "neighborhood_uniform"
+
+    def _sample_one(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        nbrs = self.provider.neighbors(vertex)
+        if nbrs.size == 0:
+            return np.full(count, vertex, dtype=np.int64)
+        return nbrs[rng.integers(nbrs.size, size=count)]
+
+
+class WeightedNeighborSampler(_ExpandingSampler):
+    """Edge-weight proportional sampling with dynamic (trainable) weights.
+
+    Per-vertex alias tables are built lazily and invalidated when
+    ``backward`` adjusts that vertex's weights — the paper's "register a
+    gradient function for the sampler" mechanism.
+    """
+
+    name = "neighborhood_weighted"
+
+    def __init__(self, provider: NeighborProvider) -> None:
+        super().__init__(provider)
+        self._weights: dict[int, np.ndarray] = {}
+        self._tables: dict[int, AliasTable] = {}
+        self.register_update_fn(self._apply_weight_update)
+
+    def current_weights(self, vertex: int) -> np.ndarray:
+        """The (possibly updated) sampling weights of ``vertex``'s edges."""
+        if vertex not in self._weights:
+            self._weights[vertex] = np.array(
+                self.provider.weights(vertex), dtype=np.float64
+            )
+        return self._weights[vertex]
+
+    def _apply_weight_update(
+        self, vertex: int, grads: np.ndarray, lr: float = 0.1
+    ) -> None:
+        """Gradient-like multiplicative update of ``vertex``'s edge weights."""
+        weights = self.current_weights(vertex)
+        grads = np.asarray(grads, dtype=np.float64)
+        if grads.shape != weights.shape:
+            raise SamplingError(
+                f"gradient shape {grads.shape} does not match the "
+                f"{weights.shape} weights of vertex {vertex}"
+            )
+        updated = np.maximum(weights * np.exp(lr * grads), 1e-12)
+        self._weights[vertex] = updated
+        self._tables.pop(vertex, None)  # invalidate the alias table
+
+    def _sample_one(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        nbrs = self.provider.neighbors(vertex)
+        if nbrs.size == 0:
+            return np.full(count, vertex, dtype=np.int64)
+        table = self._tables.get(vertex)
+        if table is None:
+            table = AliasTable(self.current_weights(vertex))
+            self._tables[vertex] = table
+        return nbrs[table.draw_batch(rng, count)]
+
+
+class TopKNeighborSampler(_ExpandingSampler):
+    """Deterministic heaviest-``count`` neighbors (ties by id).
+
+    Repeats the heaviest neighbors cyclically when the fan-out exceeds the
+    degree so output stays aligned.
+    """
+
+    name = "neighborhood_topk"
+
+    def _sample_one(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        nbrs = self.provider.neighbors(vertex)
+        if nbrs.size == 0:
+            return np.full(count, vertex, dtype=np.int64)
+        weights = self.provider.weights(vertex)
+        order = np.lexsort((nbrs, -weights))
+        top = nbrs[order[: min(count, nbrs.size)]]
+        reps = int(np.ceil(count / top.size))
+        return np.tile(top, reps)[:count]
+
+
+class ImportanceNeighborSampler(_ExpandingSampler):
+    """Degree-proportional importance sampling (FastGCN/AS-GCN family).
+
+    Samples neighbor ``u`` of ``v`` with probability proportional to
+    ``deg(u)^beta`` (``beta=1`` emphasizes hubs; FastGCN's q(u) ∝ deg).
+    ``inclusion_probability`` exposes the per-draw probabilities so callers
+    can build unbiased (importance-weighted) aggregations.
+    """
+
+    name = "neighborhood_importance"
+
+    def __init__(self, provider: NeighborProvider, degrees: np.ndarray, beta: float = 1.0):
+        super().__init__(provider)
+        degrees = np.asarray(degrees, dtype=np.float64)
+        if degrees.ndim != 1:
+            raise SamplingError("degrees must be a 1-D vector")
+        self.beta = beta
+        self._scores = np.power(np.maximum(degrees, 1.0), beta)
+
+    def inclusion_probability(self, vertex: int) -> np.ndarray:
+        """p(u | v) over ``v``'s neighbor list (sums to 1)."""
+        nbrs = self.provider.neighbors(vertex)
+        if nbrs.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        scores = self._scores[nbrs]
+        return scores / scores.sum()
+
+    def _sample_one(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        nbrs = self.provider.neighbors(vertex)
+        if nbrs.size == 0:
+            return np.full(count, vertex, dtype=np.int64)
+        probs = self.inclusion_probability(vertex)
+        return nbrs[rng.choice(nbrs.size, size=count, p=probs)]
+
+
+class FullNeighborSampler(_ExpandingSampler):
+    """No sampling: the full neighbor set, cyclically padded to ``count``.
+
+    ``max_fanout`` caps hub explosion; pass the graph's max degree as the
+    fan-out to make the expansion exact.
+    """
+
+    name = "neighborhood_full"
+
+    def __init__(self, provider: NeighborProvider, max_fanout: int = 512) -> None:
+        super().__init__(provider)
+        if max_fanout < 1:
+            raise SamplingError("max_fanout must be positive")
+        self.max_fanout = max_fanout
+
+    def _sample_one(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        nbrs = self.provider.neighbors(vertex)
+        if nbrs.size == 0:
+            return np.full(count, vertex, dtype=np.int64)
+        take = nbrs[: min(self.max_fanout, nbrs.size)]
+        reps = int(np.ceil(count / take.size))
+        return np.tile(take, reps)[:count]

@@ -1,0 +1,65 @@
+"""The Figure 5 sampling stage: TRAVERSE + NEIGHBORHOOD + NEGATIVE.
+
+The paper's canonical training-sample stage is::
+
+    vertex  = s1.sample(edge_type, batch_size)        # TRAVERSE
+    context = s2.sample(edge_type, vertex, hop_nums)   # NEIGHBORHOOD
+    neg     = s3.sample(edge_type, vertex, neg_num)    # NEGATIVE
+
+:class:`SamplingPipeline` packages exactly that, returning a
+:class:`TrainingBatch`. When the neighborhood sampler reads through a
+:class:`StoreProvider` the distributed sub-batching happens implicitly: each
+vertex's context resolves against its owning graph server (or a cache), and
+the stitched result comes back in batch order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sampling.base import Sampler, check_batch_size
+from repro.sampling.neighborhood import NeighborhoodSample
+
+
+@dataclass
+class TrainingBatch:
+    """One training step's worth of samples."""
+
+    vertices: np.ndarray
+    context: NeighborhoodSample
+    negatives: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Seed vertices in this batch."""
+        return int(self.vertices.size)
+
+
+class SamplingPipeline:
+    """Composes the three sampler families into one stage."""
+
+    def __init__(
+        self,
+        traverse: Sampler,
+        neighborhood: Sampler,
+        negative: Sampler,
+        hop_nums: "list[int]",
+        neg_num: int,
+    ) -> None:
+        check_batch_size(neg_num)
+        self.traverse = traverse
+        self.neighborhood = neighborhood
+        self.negative = negative
+        self.hop_nums = list(hop_nums)
+        self.neg_num = neg_num
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> TrainingBatch:
+        """Produce one :class:`TrainingBatch` of ``batch_size`` seeds."""
+        vertices = self.traverse.sample(batch_size, rng)
+        if isinstance(vertices, tuple):  # edge traverse: use source endpoints
+            vertices = vertices[0]
+        context = self.neighborhood.sample(vertices, self.hop_nums, rng)
+        negatives = self.negative.sample(vertices, self.neg_num, rng)
+        return TrainingBatch(vertices=vertices, context=context, negatives=negatives)

@@ -1,0 +1,46 @@
+"""AliGraph storage layer (paper §3.2–3.3 infrastructure).
+
+Reproduces the three storage techniques of the paper — graph partition,
+separate structure/attribute storage with LRU-fronted deduplicating indices,
+and importance-based caching of neighbors — plus the distributed graph-server
+simulation with exact local/remote/cache access accounting and the lock-free
+request-flow buckets of Figure 6.
+"""
+
+from repro.storage.attributes import AttributeIndex, SeparateAttributeStore
+from repro.storage.cache import (
+    CachePolicy,
+    ImportanceCachePolicy,
+    LRUCachePolicy,
+    NeighborCache,
+    RandomCachePolicy,
+    make_cache,
+)
+from repro.storage.cluster import DistributedGraphStore, build_distributed
+from repro.storage.costmodel import CostModel
+from repro.storage.importance import (
+    CachePlan,
+    importance_scores,
+    khop_degrees,
+    plan_importance_cache,
+)
+from repro.storage.server import GraphServer
+
+__all__ = [
+    "AttributeIndex",
+    "SeparateAttributeStore",
+    "NeighborCache",
+    "CachePolicy",
+    "ImportanceCachePolicy",
+    "RandomCachePolicy",
+    "LRUCachePolicy",
+    "make_cache",
+    "CostModel",
+    "GraphServer",
+    "DistributedGraphStore",
+    "build_distributed",
+    "CachePlan",
+    "importance_scores",
+    "khop_degrees",
+    "plan_importance_cache",
+]

@@ -1,0 +1,137 @@
+"""Lock-free request-flow buckets (paper §3.3, Figure 6).
+
+On each graph server, vertices are split into groups; each group gets a
+request-flow bucket — a lock-free FIFO queue bound to one CPU core — and all
+reads/updates of a vertex are funnelled through its group's bucket, processed
+sequentially without locking.
+
+We simulate the scheduling consequence of that design rather than actual
+threads: given a request trace, the lock-free makespan is the busiest
+bucket's total service time (buckets drain in parallel, no synchronization),
+while the lock-based alternative serializes conflicting requests on shared
+structures and pays a lock acquisition overhead per request. The ablation
+benchmark compares the two makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One storage operation: a read or a (sampler weight) update."""
+
+    vertex: int
+    kind: str = "read"  # "read" or "update"
+    service_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "update"):
+            raise StorageError(f"request kind must be read/update: {self.kind!r}")
+        if self.service_us <= 0:
+            raise StorageError("service time must be positive")
+
+
+class RequestFlowBuckets:
+    """Vertex-group buckets bound to cores, as in Figure 6."""
+
+    def __init__(self, n_vertices: int, n_buckets: int) -> None:
+        if n_buckets < 1:
+            raise StorageError(f"need at least one bucket, got {n_buckets}")
+        if n_vertices < 1:
+            raise StorageError("need at least one vertex")
+        self.n_vertices = n_vertices
+        self.n_buckets = n_buckets
+
+    def bucket_of(self, vertex: int) -> int:
+        """The bucket (== core) responsible for ``vertex``'s group."""
+        if not 0 <= vertex < self.n_vertices:
+            raise StorageError(f"unknown vertex {vertex}")
+        return vertex % self.n_buckets
+
+    def route(self, requests: "list[Request]") -> list[list[Request]]:
+        """Distribute a request trace into per-bucket FIFO queues."""
+        queues: list[list[Request]] = [[] for _ in range(self.n_buckets)]
+        for req in requests:
+            queues[self.bucket_of(req.vertex)].append(req)
+        return queues
+
+    def lock_free_makespan_us(self, requests: "list[Request]") -> float:
+        """Makespan with one core per bucket and no locks.
+
+        Each bucket drains sequentially; buckets drain concurrently; the
+        makespan is the busiest bucket.
+        """
+        queues = self.route(requests)
+        if not requests:
+            return 0.0
+        return max(sum(r.service_us for r in q) for q in queues)
+
+    def locked_makespan_us(
+        self,
+        requests: "list[Request]",
+        n_cores: int | None = None,
+        lock_overhead_us: float = 0.8,
+        writer_exclusive: bool = True,
+    ) -> float:
+        """Makespan of the lock-based alternative on the same trace.
+
+        ``n_cores`` cores share one locked structure: every request pays the
+        lock overhead, and with ``writer_exclusive`` updates serialize
+        globally (readers-writer lock) while reads split across cores.
+        """
+        if n_cores is None:
+            n_cores = self.n_buckets
+        if n_cores < 1:
+            raise StorageError("need at least one core")
+        if not requests:
+            return 0.0
+        read_us = sum(
+            r.service_us + lock_overhead_us for r in requests if r.kind == "read"
+        )
+        update_us = sum(
+            r.service_us + lock_overhead_us for r in requests if r.kind == "update"
+        )
+        if writer_exclusive:
+            # Updates hold the write lock exclusively; reads parallelize.
+            return update_us + read_us / n_cores
+        return (read_us + update_us) / n_cores
+
+    def speedup(
+        self, requests: "list[Request]", lock_overhead_us: float = 0.8
+    ) -> float:
+        """locked / lock-free makespan ratio (>1 means buckets win)."""
+        lock_free = self.lock_free_makespan_us(requests)
+        if lock_free == 0.0:
+            return 1.0
+        return self.locked_makespan_us(
+            requests, lock_overhead_us=lock_overhead_us
+        ) / lock_free
+
+
+def synthetic_trace(
+    n_vertices: int,
+    n_requests: int,
+    update_fraction: float,
+    rng: np.random.Generator,
+    read_service_us: float = 1.0,
+    update_service_us: float = 2.0,
+) -> list[Request]:
+    """A uniform random request trace for the buckets ablation."""
+    if not 0.0 <= update_fraction <= 1.0:
+        raise StorageError("update_fraction must be within [0, 1]")
+    vertices = rng.integers(0, n_vertices, size=n_requests)
+    is_update = rng.random(n_requests) < update_fraction
+    return [
+        Request(
+            vertex=int(v),
+            kind="update" if u else "read",
+            service_us=update_service_us if u else read_service_us,
+        )
+        for v, u in zip(vertices, is_update)
+    ]

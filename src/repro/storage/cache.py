@@ -1,0 +1,169 @@
+"""Neighbor caching: the importance policy and the Figure 9 baselines.
+
+A :class:`NeighborCache` lives on each graph server and holds out-neighbor
+lists of vertices owned by *other* servers, so cross-partition traversals can
+be served locally. Three interchangeable policies decide its contents:
+
+* :class:`ImportanceCachePolicy` — the paper's contribution: pin the
+  neighbors of the globally most important vertices (Eq. 1 / Algorithm 2);
+* :class:`RandomCachePolicy` — pin a uniformly random vertex subset;
+* :class:`LRUCachePolicy` — classic demand-filled LRU replacement.
+
+Pinned policies (importance/random) decide contents up front and never evict;
+LRU fills on access. Figure 9 compares the three at equal capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.graph.graph import Graph
+from repro.storage.importance import importance_scores
+from repro.utils.lru import LRUCache
+
+
+class NeighborCache:
+    """Per-server cache of remote vertices' out-neighbor arrays."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise StorageError(f"cache capacity must be non-negative: {capacity}")
+        self.capacity = capacity
+        self._pinned: dict[int, np.ndarray] = {}
+        self._lru = LRUCache(capacity)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pinned) + len(self._lru)
+
+    def pin(self, vertex: int, neighbors: np.ndarray) -> None:
+        """Permanently cache ``vertex``'s neighbors (up to capacity)."""
+        if len(self._pinned) >= self.capacity:
+            raise StorageError("neighbor cache pin capacity exhausted")
+        self._pinned[vertex] = np.asarray(neighbors, dtype=np.int64)
+
+    def get(self, vertex: int) -> np.ndarray | None:
+        """Cached neighbor array of ``vertex``, or None on a miss."""
+        if vertex in self._pinned:
+            self.hits += 1
+            return self._pinned[vertex]
+        value = self._lru.get(vertex)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        return None
+
+    def admit(self, vertex: int, neighbors: np.ndarray) -> None:
+        """Offer a fetched entry for demand-filled (LRU) caching.
+
+        Pinned policies set LRU capacity to 0, making this a no-op; the LRU
+        policy relies on it entirely.
+        """
+        if self._lru.capacity > 0 and vertex not in self._pinned:
+            self._lru.put(vertex, np.asarray(neighbors, dtype=np.int64))
+
+    def invalidate(self, vertex: int) -> None:
+        """Drop any cached copy of ``vertex``'s neighbors (after an update).
+
+        Pinned entries are dropped too: a stale pinned row is worse than a
+        miss.
+        """
+        self._pinned.pop(vertex, None)
+        self._lru.delete(vertex)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from this cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachePolicy:
+    """Strategy deciding a server's neighbor-cache contents.
+
+    ``select(graph, budget, rng)`` returns the vertex ids to pin (may be
+    empty for demand-filled policies); ``demand_filled`` says whether the
+    cache should also admit entries on access.
+    """
+
+    name = "abstract"
+    demand_filled = False
+
+    def select(
+        self, graph: Graph, budget: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ImportanceCachePolicy(CachePolicy):
+    """Pin the top-``budget`` vertices by Imp^(k) (the paper's strategy)."""
+
+    name = "importance"
+
+    def __init__(self, hop: int = 2, method: str = "multiplicity") -> None:
+        self.hop = hop
+        self.method = method
+
+    def select(
+        self, graph: Graph, budget: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if budget <= 0:
+            return np.zeros(0, dtype=np.int64)
+        scores = importance_scores(graph, self.hop, method=self.method)
+        top = np.argsort(scores, kind="stable")[::-1][:budget]
+        return top[scores[top] > 0].astype(np.int64)
+
+
+class RandomCachePolicy(CachePolicy):
+    """Pin a uniformly random vertex subset (Figure 9 baseline)."""
+
+    name = "random"
+
+    def select(
+        self, graph: Graph, budget: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if budget <= 0:
+            return np.zeros(0, dtype=np.int64)
+        budget = min(budget, graph.n_vertices)
+        return rng.choice(graph.n_vertices, size=budget, replace=False).astype(
+            np.int64
+        )
+
+
+class LRUCachePolicy(CachePolicy):
+    """Demand-filled LRU replacement (Figure 9 baseline).
+
+    Pins nothing; every fetched remote neighbor list is admitted and evicted
+    least-recently-used, so a scattered access pattern churns the cache —
+    exactly the "additional cost since it frequently replaces cached
+    vertices" the paper observes.
+    """
+
+    name = "lru"
+    demand_filled = True
+
+    def select(
+        self, graph: Graph, budget: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.zeros(0, dtype=np.int64)
+
+
+def make_cache(
+    policy: CachePolicy,
+    graph: Graph,
+    budget: int,
+    rng: np.random.Generator,
+) -> NeighborCache:
+    """Build a :class:`NeighborCache` under ``policy`` with ``budget`` slots."""
+    if policy.demand_filled:
+        cache = NeighborCache(budget)
+        return cache
+    cache = NeighborCache(budget)
+    for v in policy.select(graph, budget, rng):
+        cache.pin(int(v), graph.out_neighbors(int(v)))
+    # Pinned caches do not demand-fill: zero out the LRU side.
+    cache._lru = LRUCache(0)
+    return cache

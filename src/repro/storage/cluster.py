@@ -1,0 +1,334 @@
+"""The distributed graph store: routing, caching and exact cost accounting.
+
+:class:`DistributedGraphStore` glues together a partition assignment, one
+:class:`GraphServer` per worker, a neighbor-cache policy and a
+:class:`CostModel`. Every read states which worker issued it, and the router
+charges exactly one of three paths:
+
+* the issuer owns the vertex            -> ``local_read``
+* the issuer's neighbor cache hits      -> ``cache_hit``
+* otherwise                             -> ``remote_rpc`` + per-item shipping
+  (plus a demand-fill admission when the policy is LRU)
+
+These counters are the entire substance of Figures 8–9 and Table 4, so the
+experiments measure them exactly and convert to time through the cost model.
+
+:func:`build_distributed` reproduces the Figure 7 pipeline: edges are
+streamed to workers by the partition's ASSIGN function and each worker builds
+its shard; with ``p`` workers the (simulated) build time is the *critical
+path* — the slowest worker's measured ingestion time — plus a coordination
+term, exactly how a synchronous distributed build behaves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.storage.cache import CachePolicy, ImportanceCachePolicy, make_cache
+from repro.storage.costmodel import (
+    EV_ATTR_CACHE_HIT,
+    EV_ATTR_DECODE,
+    EV_CACHE_FILL,
+    EV_CACHE_HIT,
+    EV_COORDINATION,
+    EV_EDGE_INGESTED,
+    EV_FAILOVER_READ,
+    EV_ITEM_SHIPPED,
+    EV_LOCAL_READ,
+    EV_REMOTE_RPC,
+    CostModel,
+)
+from repro.storage.partition.base import PartitionAssignment, Partitioner
+from repro.storage.partition.hashcut import EdgeCutPartitioner
+from repro.storage.server import GraphServer
+from repro.utils.rng import make_rng
+from repro.utils.timer import CostAccumulator
+
+
+class DistributedGraphStore:
+    """A cluster of :class:`GraphServer` shards with accounted routing."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        assignment: PartitionAssignment,
+        cost_model: CostModel | None = None,
+        cache_policy: CachePolicy | None = None,
+        cache_budget_fraction: float = 0.0,
+        attr_cache_capacity: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if assignment.graph is not graph:
+            raise StorageError("assignment was computed for a different graph")
+        self.graph = graph
+        self.assignment = assignment
+        self.cost_model = cost_model or CostModel()
+        self.ledger: CostAccumulator = self.cost_model.accumulator()
+        self._rng = make_rng(seed)
+
+        self.servers: list[GraphServer] = []
+        for p in range(assignment.n_parts):
+            self.servers.append(
+                GraphServer(
+                    part_id=p,
+                    owned_vertices=assignment.part_vertices(p),
+                    graph=graph,
+                    attr_cache_capacity=attr_cache_capacity,
+                )
+            )
+
+        self.cache_policy = cache_policy
+        if cache_policy is not None and cache_budget_fraction > 0:
+            budget = int(cache_budget_fraction * graph.n_vertices)
+            self._install_caches(cache_policy, budget)
+        self._cache_budget = (
+            int(cache_budget_fraction * graph.n_vertices)
+            if cache_budget_fraction > 0
+            else 0
+        )
+        self._failed: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Cache installation
+    # ------------------------------------------------------------------ #
+    def _install_caches(self, policy: CachePolicy, budget: int) -> None:
+        """Give every server a neighbor cache built under ``policy``.
+
+        The paper caches an important vertex's out-neighbors "on each
+        partition it occurs" — operationally, every server can then resolve
+        that vertex locally, so we install the selected set on all servers.
+        """
+        for server in self.servers:
+            server.neighbor_cache = make_cache(policy, self.graph, budget, self._rng)
+
+    def set_cache_policy(self, policy: CachePolicy, budget: int) -> None:
+        """Swap the neighbor-cache policy at runtime (used by Figure 9)."""
+        self.cache_policy = policy
+        self._cache_budget = budget
+        self._install_caches(policy, budget)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        """Number of graph servers."""
+        return len(self.servers)
+
+    def owner(self, vertex: int) -> int:
+        """The worker owning ``vertex``."""
+        if not 0 <= vertex < self.graph.n_vertices:
+            raise StorageError(f"unknown vertex {vertex}")
+        return int(self.assignment.vertex_to_part[vertex])
+
+    # ------------------------------------------------------------------ #
+    # Failure injection (operational concern of any production cluster)
+    # ------------------------------------------------------------------ #
+    def fail_worker(self, part: int) -> None:
+        """Take worker ``part`` offline: its shard stops serving reads."""
+        if not 0 <= part < self.n_workers:
+            raise StorageError(f"unknown worker {part}")
+        self._failed.add(part)
+
+    def restore_worker(self, part: int) -> None:
+        """Bring a failed worker back (its shard is intact — fail-stop)."""
+        self._failed.discard(part)
+
+    @property
+    def failed_workers(self) -> "frozenset[int]":
+        """The currently offline workers."""
+        return frozenset(self._failed)
+
+    def _failover_lookup(self, vertex: int, from_part: int) -> np.ndarray:
+        """Serve a read whose owner is down from any healthy replica.
+
+        Replicas exist wherever a neighbor cache pinned/holds the vertex —
+        exactly the importance-cache entries ("cached on each partition it
+        occurs") — so hot vertices survive worker loss, cold ones do not.
+        """
+        for p, server in enumerate(self.servers):
+            if p in self._failed or p == from_part:
+                continue
+            cached = server.neighbor_cache.get(vertex)
+            if cached is not None:
+                self.ledger.record(EV_FAILOVER_READ)
+                return cached
+        raise StorageError(
+            f"vertex {vertex} unavailable: owner worker "
+            f"{self.owner(vertex)} is down and no healthy replica holds it"
+        )
+
+    def neighbors(self, vertex: int, from_part: int) -> np.ndarray:
+        """Out-neighbors of ``vertex`` as seen by worker ``from_part``.
+
+        Charges local/cached/remote cost according to where the data lives;
+        reads of vertices owned by failed workers fail over to any healthy
+        cache replica (or raise when none exists).
+        """
+        if not 0 <= from_part < self.n_workers:
+            raise StorageError(f"unknown worker {from_part}")
+        if from_part in self._failed:
+            raise StorageError(f"issuing worker {from_part} is down")
+        owner = self.owner(vertex)
+        if owner == from_part:
+            self.ledger.record(EV_LOCAL_READ)
+            return self.servers[owner].local_neighbors(vertex)
+        issuer = self.servers[from_part]
+        cached = issuer.neighbor_cache.get(vertex)
+        if cached is not None:
+            self.ledger.record(EV_CACHE_HIT)
+            return cached
+        if owner in self._failed:
+            return self._failover_lookup(vertex, from_part)
+        self.ledger.record(EV_REMOTE_RPC)
+        result = self.servers[owner].local_neighbors(vertex)
+        self.ledger.record(EV_ITEM_SHIPPED, times=int(result.size))
+        if self.cache_policy is not None and self.cache_policy.demand_filled:
+            issuer.neighbor_cache.admit(vertex, result)
+            self.ledger.record(EV_CACHE_FILL)
+        return result
+
+    def vertex_attr(self, vertex: int, from_part: int) -> np.ndarray:
+        """Attribute row of ``vertex`` as seen by worker ``from_part``."""
+        owner = self.owner(vertex)
+        server = self.servers[owner]
+        if not server.attrs.has_vertex_attr(vertex):
+            raise StorageError(f"vertex {vertex} has no attributes stored")
+        was_cached = vertex in server.attrs.iv_cache
+        if owner != from_part:
+            self.ledger.record(EV_REMOTE_RPC)
+        value = server.local_vertex_attr(vertex)
+        self.ledger.record(EV_ATTR_CACHE_HIT if was_cached else EV_ATTR_DECODE)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Streaming updates (the "frequent edge updates" regime of §3.2)
+    # ------------------------------------------------------------------ #
+    def apply_edge_events(self, events: "list") -> int:
+        """Apply a batch of :class:`~repro.graph.dynamic.EdgeEvent` updates.
+
+        Additions/removals are routed to the source vertex's owning shard;
+        every server's cached copy of the touched vertex's neighbor list is
+        invalidated (dropped from pinned and demand-filled entries alike)
+        so subsequent reads observe the new adjacency. Returns the number
+        of applied events. Note: the immutable analytical snapshot
+        (``self.graph``) is not mutated — this is the serving path.
+        """
+        applied = 0
+        for ev in events:
+            owner = self.owner(ev.src)
+            if owner in self._failed:
+                raise StorageError(
+                    f"cannot apply update: owner worker {owner} is down"
+                )
+            server = self.servers[owner]
+            if ev.kind == "add":
+                server.add_local_edge(ev.src, ev.dst)
+                applied += 1
+            elif server.remove_local_edge(ev.src, ev.dst):
+                applied += 1
+            self.ledger.record(EV_EDGE_INGESTED)
+            for other in self.servers:
+                other.neighbor_cache.invalidate(ev.src)
+        return applied
+
+    def reset_ledger(self) -> None:
+        """Zero the cost counters (cache contents are kept)."""
+        self.ledger.reset()
+
+    def cache_hit_rate(self) -> float:
+        """Aggregate neighbor-cache hit rate across servers."""
+        hits = sum(s.neighbor_cache.hits for s in self.servers)
+        misses = sum(s.neighbor_cache.misses for s in self.servers)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Timing report of one distributed graph build (Figure 7 row)."""
+
+    n_workers: int
+    n_edges: int
+    per_worker_seconds: tuple[float, ...]
+    critical_path_seconds: float
+    coordination_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Modelled wall time: slowest worker + coordination."""
+        return self.critical_path_seconds + self.coordination_seconds
+
+
+def make_store(
+    graph: Graph,
+    n_workers: int,
+    partitioner: Partitioner | None = None,
+    cost_model: CostModel | None = None,
+    cache_policy: CachePolicy | None = None,
+    cache_budget_fraction: float = 0.0,
+    seed: int = 0,
+) -> DistributedGraphStore:
+    """Partition ``graph`` and stand up a distributed store over it."""
+    partitioner = partitioner or EdgeCutPartitioner()
+    assignment = partitioner.partition(graph, n_workers)
+    return DistributedGraphStore(
+        graph,
+        assignment,
+        cost_model=cost_model,
+        cache_policy=cache_policy,
+        cache_budget_fraction=cache_budget_fraction,
+        seed=seed,
+    )
+
+
+def build_distributed(
+    graph: Graph,
+    n_workers: int,
+    cost_model: CostModel | None = None,
+    coordination_rounds: int = 3,
+) -> tuple[DistributedGraphStore, BuildReport]:
+    """Simulate the distributed build of Figure 7.
+
+    Edges are routed to workers by source-vertex hash (the stateless ASSIGN
+    of Algorithm 2 lines 1–4); each worker's shard ingestion is *actually
+    executed and wall-clock timed*, worker by worker, and the reported build
+    time is the critical path ``max_w(t_w)`` plus a coordination term —
+    i.e. the time a p-worker cluster doing this identical work in parallel
+    would take.
+    """
+    cost_model = cost_model or CostModel()
+    partitioner = EdgeCutPartitioner()
+    assignment = partitioner.partition(graph, n_workers)
+    src, dst, w = graph.edge_array()
+    edge_parts = assignment.edge_to_part
+
+    per_worker: list[float] = []
+    ledger = cost_model.accumulator()
+    for p in range(n_workers):
+        mask = edge_parts == p
+        p_src, p_dst, p_w = src[mask], dst[mask], w[mask]
+        start = time.perf_counter()
+        builder = GraphBuilder(directed=graph.directed)
+        for i in range(p_src.size):
+            builder.add_edge(int(p_src[i]), int(p_dst[i]), weight=float(p_w[i]))
+        builder.build()
+        per_worker.append(time.perf_counter() - start)
+        ledger.record(EV_EDGE_INGESTED, times=int(p_src.size))
+    ledger.record(EV_COORDINATION, times=coordination_rounds)
+
+    report = BuildReport(
+        n_workers=n_workers,
+        n_edges=graph.n_edges,
+        per_worker_seconds=tuple(per_worker),
+        critical_path_seconds=max(per_worker) if per_worker else 0.0,
+        coordination_seconds=coordination_rounds * cost_model.coordination_us / 1e6,
+    )
+    store = DistributedGraphStore(graph, assignment, cost_model=cost_model)
+    return store, report

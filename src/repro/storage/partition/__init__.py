@@ -1,0 +1,31 @@
+"""Graph partition strategies (paper §3.2).
+
+AliGraph ships four built-in partitioners, each suited to a different regime:
+METIS-style multilevel for sparse graphs, vertex/edge cut for dense graphs,
+2-D partition when the worker count is fixed, and streaming partition for
+graphs with frequent edge updates. All are plugins behind the
+:class:`Partitioner` interface and new ones can be registered.
+"""
+
+from repro.storage.partition.base import (
+    PartitionAssignment,
+    Partitioner,
+    get_partitioner,
+    register_partitioner,
+)
+from repro.storage.partition.hashcut import EdgeCutPartitioner, VertexCutPartitioner
+from repro.storage.partition.metis import MetisPartitioner
+from repro.storage.partition.streaming import StreamingPartitioner
+from repro.storage.partition.twodim import TwoDimPartitioner
+
+__all__ = [
+    "Partitioner",
+    "PartitionAssignment",
+    "register_partitioner",
+    "get_partitioner",
+    "EdgeCutPartitioner",
+    "VertexCutPartitioner",
+    "MetisPartitioner",
+    "TwoDimPartitioner",
+    "StreamingPartitioner",
+]

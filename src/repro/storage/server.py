@@ -1,0 +1,131 @@
+"""One simulated graph server: a partition's shard plus its caches (§3.2).
+
+A :class:`GraphServer` owns a set of vertices and the out-adjacency rows of
+their edges, stores attributes in a :class:`SeparateAttributeStore` (the
+IV/IE indices with LRU fronts) and holds a :class:`NeighborCache` of
+important *remote* vertices' neighbor lists. All cross-server traffic is
+mediated — and accounted — by :class:`repro.storage.cluster.
+DistributedGraphStore`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.graph.graph import Graph
+from repro.storage.attributes import SeparateAttributeStore
+from repro.storage.cache import NeighborCache
+
+
+class GraphServer:
+    """Shard of the graph owned by one simulated worker."""
+
+    def __init__(
+        self,
+        part_id: int,
+        owned_vertices: np.ndarray,
+        graph: Graph,
+        attr_cache_capacity: int = 4096,
+        neighbor_cache_capacity: int = 0,
+    ) -> None:
+        self.part_id = part_id
+        self.owned = np.asarray(owned_vertices, dtype=np.int64)
+        self._owned_set = set(int(v) for v in self.owned)
+        self._graph = graph
+        # Local adjacency: copy out the rows this server owns. The copy is
+        # what makes the shard a real shard — reads of non-owned vertices
+        # cannot be served from here.
+        self._adjacency: dict[int, np.ndarray] = {
+            int(v): np.array(graph.out_neighbors(int(v)), dtype=np.int64)
+            for v in self.owned
+        }
+        self._adj_weights: dict[int, np.ndarray] = {
+            int(v): np.array(graph.out_weights(int(v)), dtype=np.float64)
+            for v in self.owned
+        }
+        self.attrs = SeparateAttributeStore(
+            vertex_cache_capacity=attr_cache_capacity,
+            edge_cache_capacity=attr_cache_capacity,
+        )
+        self.neighbor_cache = NeighborCache(neighbor_cache_capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphServer(part={self.part_id}, vertices={self.owned.size}, "
+            f"cache={len(self.neighbor_cache)})"
+        )
+
+    def owns(self, vertex: int) -> bool:
+        """Whether this server is the owner of ``vertex``."""
+        return vertex in self._owned_set
+
+    @property
+    def n_local_edges(self) -> int:
+        """Out-edges stored on this shard."""
+        return sum(a.size for a in self._adjacency.values())
+
+    def local_neighbors(self, vertex: int) -> np.ndarray:
+        """Out-neighbors of an owned vertex (raises if not owned)."""
+        try:
+            return self._adjacency[vertex]
+        except KeyError:
+            raise StorageError(
+                f"server {self.part_id} does not own vertex {vertex}"
+            ) from None
+
+    def local_weights(self, vertex: int) -> np.ndarray:
+        """Edge weights aligned with :meth:`local_neighbors`."""
+        try:
+            return self._adj_weights[vertex]
+        except KeyError:
+            raise StorageError(
+                f"server {self.part_id} does not own vertex {vertex}"
+            ) from None
+
+    def add_local_edge(self, src: int, dst: int, weight: float = 1.0) -> None:
+        """Append an out-edge to an owned vertex's adjacency row.
+
+        The streaming-update path: new behaviour events land on the source
+        vertex's owning shard without a rebuild.
+        """
+        if not self.owns(src):
+            raise StorageError(
+                f"server {self.part_id} cannot ingest edge of foreign vertex {src}"
+            )
+        if weight <= 0:
+            raise StorageError(f"edge weight must be positive, got {weight}")
+        self._adjacency[src] = np.append(self._adjacency[src], np.int64(dst))
+        self._adj_weights[src] = np.append(self._adj_weights[src], float(weight))
+
+    def remove_local_edge(self, src: int, dst: int) -> bool:
+        """Drop the first ``src -> dst`` arc; returns whether one existed."""
+        if not self.owns(src):
+            raise StorageError(
+                f"server {self.part_id} cannot touch foreign vertex {src}"
+            )
+        row = self._adjacency[src]
+        hits = np.flatnonzero(row == dst)
+        if hits.size == 0:
+            return False
+        keep = np.ones(row.size, dtype=bool)
+        keep[hits[0]] = False
+        self._adjacency[src] = row[keep]
+        self._adj_weights[src] = self._adj_weights[src][keep]
+        return True
+
+    def ingest_vertex_attr(self, vertex: int, vector: np.ndarray) -> None:
+        """Store an owned vertex's attribute row in the IV index."""
+        if not self.owns(vertex):
+            raise StorageError(
+                f"server {self.part_id} cannot store attrs of foreign vertex {vertex}"
+            )
+        self.attrs.put_vertex_attr(vertex, vector)
+
+    def local_vertex_attr(self, vertex: int) -> np.ndarray:
+        """Attribute row of an owned vertex, through the IV LRU cache."""
+        if not self.owns(vertex):
+            raise StorageError(
+                f"server {self.part_id} does not own vertex {vertex}"
+            )
+        return self.attrs.get_vertex_attr(vertex)

@@ -1,0 +1,56 @@
+"""Recommendation evaluation: hit-recall at K (Tables 9 and 12).
+
+For each test user, rank all candidate items by embedding similarity
+(excluding the user's training items) and measure the fraction of held-out
+interactions recovered in the top K, averaged over users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tasks.metrics import hit_recall_at_k
+
+
+def evaluate_recommendation(
+    user_embeddings: np.ndarray,
+    item_embeddings: np.ndarray,
+    train_items: "dict[int, set[int]]",
+    test_items: "dict[int, set[int]]",
+    ks: "list[int]",
+    item_group: np.ndarray | None = None,
+) -> dict[int, float]:
+    """Mean HR@K over test users.
+
+    ``train_items``/``test_items`` map user index -> item-index sets (item
+    indices into ``item_embeddings``). Training items are masked out of the
+    ranking. With ``item_group`` (e.g. brand or category id per item), hits
+    are counted at group granularity: recommending any item of the right
+    group counts — Table 12's brand/category levels.
+    """
+    if not ks or any(k < 1 for k in ks):
+        raise ReproError(f"ks must be positive, got {ks}")
+    if not test_items:
+        raise ReproError("no test users to evaluate")
+    scores_by_k: dict[int, list[float]] = {k: [] for k in ks}
+    for user, relevant in test_items.items():
+        if not relevant:
+            continue
+        scores = item_embeddings @ user_embeddings[user]
+        seen = train_items.get(user, set())
+        if seen:
+            scores = scores.copy()
+            scores[list(seen)] = -np.inf
+        ranked = np.argsort(-scores, kind="mergesort")
+        if item_group is not None:
+            ranked_groups = item_group[ranked]
+            relevant_groups = set(int(item_group[i]) for i in relevant)
+            for k in ks:
+                scores_by_k[k].append(
+                    hit_recall_at_k(ranked_groups, relevant_groups, k)
+                )
+        else:
+            for k in ks:
+                scores_by_k[k].append(hit_recall_at_k(ranked, relevant, k))
+    return {k: float(np.mean(v)) if v else 0.0 for k, v in scores_by_k.items()}

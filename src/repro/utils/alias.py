@@ -1,0 +1,69 @@
+"""Alias method for O(1) sampling from a discrete distribution.
+
+The sampling layer draws weighted neighbors and degree-biased negatives many
+millions of times per epoch, so constant-time draws matter. The alias table is
+built in O(n) (Vose's algorithm) and supports O(1) single draws as well as
+vectorized batch draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+class AliasTable:
+    """Precomputed alias table over ``weights`` (need not be normalized).
+
+    Draws return integer indices in ``[0, len(weights))`` distributed
+    proportionally to the weights.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise SamplingError("alias table needs a non-empty 1-D weight vector")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise SamplingError("alias table weights must be finite and non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise SamplingError("alias table weights must not all be zero")
+
+        n = weights.size
+        prob = weights * (n / total)
+        self._prob = np.ones(n, dtype=np.float64)
+        self._alias = np.arange(n, dtype=np.int64)
+
+        small = [i for i in range(n) if prob[i] < 1.0]
+        large = [i for i in range(n) if prob[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self._prob[s] = prob[s]
+            self._alias[s] = l
+            prob[l] = prob[l] - (1.0 - prob[s])
+            if prob[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # Leftovers are 1.0 up to floating point; leave prob=1, alias=self.
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def draw(self, rng: np.random.Generator) -> int:
+        """Draw a single index in O(1)."""
+        i = int(rng.integers(self._n))
+        if rng.random() < self._prob[i]:
+            return i
+        return int(self._alias[i])
+
+    def draw_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` indices as a vectorized batch."""
+        if size < 0:
+            raise SamplingError(f"batch size must be non-negative, got {size}")
+        idx = rng.integers(self._n, size=size)
+        keep = rng.random(size) < self._prob[idx]
+        return np.where(keep, idx, self._alias[idx]).astype(np.int64)

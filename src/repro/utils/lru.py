@@ -1,0 +1,75 @@
+"""A small LRU cache with hit/miss accounting.
+
+Used by the storage layer in two places the paper calls out explicitly:
+(1) the caches fronting the vertex/edge attribute indices IV and IE, and
+(2) the LRU neighbor-caching baseline of Figure 9.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.errors import StorageError
+
+
+class LRUCache:
+    """Least-recently-used cache with a fixed capacity and hit statistics."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise StorageError(f"LRU capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._store: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``; evicts the least recently used entry."""
+        if self.capacity == 0:
+            return
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = value
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def delete(self, key: Hashable) -> bool:
+        """Remove ``key`` if present (no stat changes); returns whether it was."""
+        if key in self._store:
+            del self._store[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all entries but keep the accumulated statistics."""
+        self._store.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 if none yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints its reproduction of a paper table/figure as an aligned
+ASCII table so the output can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have exactly one cell per header")
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

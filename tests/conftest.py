@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic graphs for fast unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import amazon_graph, taobao_graph
+from repro.graph import Graph, GraphBuilder
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return make_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """A 6-vertex directed graph with known structure.
+
+    Edges: 0->1, 0->2, 1->2, 2->3, 3->4, 4->0, 4->5 (weights 1..7).
+    """
+    src = np.array([0, 0, 1, 2, 3, 4, 4])
+    dst = np.array([1, 2, 2, 3, 4, 0, 5])
+    w = np.arange(1, 8, dtype=np.float64)
+    return Graph(6, src, dst, weights=w, directed=True)
+
+
+@pytest.fixture
+def tiny_undirected() -> Graph:
+    src = np.array([0, 1, 2, 3])
+    dst = np.array([1, 2, 3, 0])
+    return Graph(4, src, dst, directed=False)
+
+
+@pytest.fixture
+def tiny_ahg():
+    """2 users, 3 items, 2 behaviour edge types + item_item."""
+    b = GraphBuilder(directed=True)
+    for i in range(2):
+        b.add_vertex(f"u{i}", "user", features=np.array([float(i), 1.0]))
+    for i in range(3):
+        b.add_vertex(f"i{i}", "item", features=np.array([float(i), 2.0, 3.0]))
+    b.add_edge("u0", "i0", etype="click")
+    b.add_edge("u0", "i1", etype="buy")
+    b.add_edge("u1", "i1", etype="click")
+    b.add_edge("u1", "i2", etype="click")
+    b.add_edge("i0", "i1", etype="item_item")
+    return b.build_ahg()
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw():
+    """A session-cached power-law graph (1000 vertices) for storage tests."""
+    from repro.data import powerlaw_graph
+
+    return powerlaw_graph(1000, alpha=2.3, max_degree=80, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_taobao():
+    """A session-cached small taobao-sim AHG."""
+    return taobao_graph(n_users=400, n_items=120, mean_user_degree=6.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_amazon():
+    """A session-cached small amazon-sim AHG."""
+    return amazon_graph(n_products=300, n_communities=6, seed=3)

@@ -1,0 +1,127 @@
+"""Direct tests of shared utilities used only indirectly elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import default_optimizer, train_skipgram, unit_rows
+from repro.errors import OperatorError, TrainingError
+from repro.nn.init import embedding_init, he_uniform, xavier_uniform
+from repro.nn.layers import Dense, Embedding
+from repro.sampling.negative import DegreeBiasedNegativeSampler
+from repro.utils.rng import make_rng
+
+
+def test_unit_rows_normalizes_and_keeps_zeros():
+    rows = np.array([[3.0, 4.0], [0.0, 0.0]])
+    out = unit_rows(rows)
+    np.testing.assert_allclose(out[0], [0.6, 0.8])
+    np.testing.assert_allclose(out[1], [0.0, 0.0])
+
+
+def test_train_skipgram_reduces_loss(tiny_graph):
+    rng = make_rng(0)
+    n = tiny_graph.n_vertices
+    center = Embedding(n, 8, rng)
+    context = Embedding(n, 8, rng)
+    src, dst, _ = tiny_graph.edge_array()
+    pairs = (np.tile(src, 40), np.tile(dst, 40))
+    sampler = DegreeBiasedNegativeSampler(tiny_graph)
+    opt = default_optimizer(center.parameters() + context.parameters(), lr=0.05)
+    first = train_skipgram(
+        pairs, center, context, opt, sampler, rng, epochs=1, batch_size=64
+    )
+    final = train_skipgram(
+        pairs, center, context, opt, sampler, rng, epochs=3, batch_size=64
+    )
+    assert final < first
+
+
+def test_train_skipgram_validates_pairs(tiny_graph):
+    rng = make_rng(0)
+    center = Embedding(6, 4, rng)
+    context = Embedding(6, 4, rng)
+    sampler = DegreeBiasedNegativeSampler(tiny_graph)
+    opt = default_optimizer(center.parameters() + context.parameters())
+    with pytest.raises(TrainingError):
+        train_skipgram(
+            (np.array([0]), np.array([0, 1])), center, context, opt, sampler, rng
+        )
+    with pytest.raises(TrainingError):
+        train_skipgram(
+            (np.array([], dtype=np.int64), np.array([], dtype=np.int64)),
+            center, context, opt, sampler, rng,
+        )
+
+
+@pytest.mark.parametrize(
+    "init", [xavier_uniform, he_uniform], ids=["xavier", "he"]
+)
+def test_inits_bounded_and_seeded(init):
+    rng = make_rng(5)
+    w = init((64, 32), rng)
+    assert w.shape == (64, 32)
+    assert np.abs(w).max() <= 1.0
+    w2 = init((64, 32), make_rng(5))
+    np.testing.assert_array_equal(w, w2)
+
+
+def test_embedding_init_scale():
+    rng = make_rng(0)
+    w = embedding_init((100, 20), rng)
+    assert np.abs(w).max() <= 0.5 / 20 + 1e-12
+    w2 = embedding_init((100, 20), rng, scale=0.1)
+    assert np.abs(w2).max() <= 0.1
+
+
+def test_n_parameters_counts_scalars():
+    rng = make_rng(0)
+    layer = Dense(4, 3, rng)
+    assert layer.n_parameters() == 4 * 3 + 3
+
+
+def test_register_plugins_require_names():
+    from repro.ops.base import register_aggregator, register_combiner
+
+    class Nameless:
+        name = ""
+
+    with pytest.raises(OperatorError):
+        register_aggregator(Nameless)
+    with pytest.raises(OperatorError):
+        register_combiner(Nameless)
+
+
+def test_partition_registry_rejects_abstract():
+    from repro.errors import PartitionError
+    from repro.storage.partition.base import Partitioner, register_partitioner
+
+    class Unnamed(Partitioner):
+        name = "abstract"
+
+    with pytest.raises(PartitionError):
+        register_partitioner(Unnamed)
+
+
+def test_custom_partitioner_plugin(small_powerlaw):
+    """Users can register their own strategies, as the paper promises."""
+    import numpy as np
+
+    from repro.storage.partition.base import (
+        PartitionAssignment,
+        Partitioner,
+        get_partitioner,
+        register_partitioner,
+    )
+
+    @register_partitioner
+    class EvenOdd(Partitioner):
+        name = "even_odd_test"
+
+        def partition(self, graph, n_parts):
+            self._validate(graph, n_parts)
+            parts = np.arange(graph.n_vertices, dtype=np.int64) % n_parts
+            return PartitionAssignment(graph, n_parts, parts)
+
+    p = get_partitioner("even_odd_test")
+    assignment = p.partition(small_powerlaw, 2)
+    assert assignment.balance() < 1.01

@@ -1,0 +1,90 @@
+"""Benchmark harness: report rendering and typed evaluation coverage."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.data import train_test_split_edges
+from repro.errors import ReproError
+from repro.tasks import evaluate_link_prediction_typed
+
+
+def test_report_renders_measured_and_paper():
+    report = ExperimentReport("tX", "demo")
+    report.add("row1", {"metric": 1.5}, paper={"metric": 2.0})
+    report.add("row2", {"metric": 3.0})
+    out = report.render()
+    assert "[tX] demo" in out
+    assert "metric (paper)" in out
+    assert "1.5" in out and "2" in out and "3" in out
+
+
+def test_report_handles_heterogeneous_columns():
+    report = ExperimentReport("tY", "demo")
+    report.add("a", {"x": 1})
+    report.add("b", {"y": 2})
+    out = report.render()
+    assert "x" in out and "y" in out
+
+
+def test_report_notes_rendered():
+    report = ExperimentReport("tZ", "demo")
+    report.add("a", {"x": 1})
+    report.note("a caveat")
+    assert "note: a caveat" in report.render()
+
+
+def test_report_print(capsys):
+    report = ExperimentReport("tP", "demo")
+    report.add("a", {"x": 1})
+    report.print()
+    assert "[tP] demo" in capsys.readouterr().out
+
+
+def test_typed_evaluation_uses_per_type_embeddings(small_amazon):
+    split = train_test_split_edges(small_amazon, 0.2, seed=0)
+    n = small_amazon.n_vertices
+    rng = np.random.default_rng(0)
+    # Type 0 gets a perfect adjacency embedding; type 1 gets noise: the
+    # averaged metric must land strictly between the two extremes.
+    perfect = np.zeros((n, n))
+    src, dst, _ = small_amazon.edge_array()
+    perfect[src, dst] = 1.0
+    perfect[dst, src] = 1.0
+    noise = rng.normal(size=(n, n))
+    result = evaluate_link_prediction_typed({0: perfect, 1: noise}, split)
+    assert 55.0 < result.roc_auc < 95.0
+
+
+def test_typed_evaluation_skips_missing_types(small_amazon):
+    split = train_test_split_edges(small_amazon, 0.2, seed=0)
+    rng = np.random.default_rng(1)
+    emb = rng.normal(size=(small_amazon.n_vertices, 4))
+    only_type0 = evaluate_link_prediction_typed({0: emb}, split)
+    assert 0.0 <= only_type0.roc_auc <= 100.0
+    with pytest.raises(ReproError):
+        evaluate_link_prediction_typed({99: emb}, split)
+
+
+def test_mixture_context_embeddings_shapes(small_amazon):
+    from repro.algorithms import MixtureGNN
+
+    model = MixtureGNN(dim=12, n_senses=2, epochs=1, walks_per_vertex=2)
+    model.fit(small_amazon)
+    assert model.context_embeddings().shape == (small_amazon.n_vertices, 12)
+    assert model.mixture_embeddings().shape == (small_amazon.n_vertices, 12)
+    # The normalized embedding is the unit version of the mixture table.
+    mix = model.mixture_embeddings()
+    norm = mix / np.maximum(np.linalg.norm(mix, axis=1, keepdims=True), 1e-12)
+    np.testing.assert_allclose(model.embeddings(), norm, atol=1e-9)
+
+
+def test_mve_type_embeddings(small_amazon):
+    from repro.algorithms import MVE
+    from repro.errors import TrainingError
+
+    model = MVE(dim=12, epochs=1, walks_per_vertex=2)
+    model.fit(small_amazon)
+    assert model.type_embeddings("co_view").shape == (small_amazon.n_vertices, 12)
+    with pytest.raises(TrainingError):
+        model.type_embeddings("returns")

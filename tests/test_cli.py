@@ -1,0 +1,100 @@
+"""CLI: the dataset -> train -> evaluate round trip."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_dataset_and_info(tmp_path, capsys):
+    path = str(tmp_path / "g.npz")
+    assert main(["dataset", "amazon-sim", path, "--scale", "0.15", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "n_vertices" in out
+    assert main(["info", path]) == 0
+    out = capsys.readouterr().out
+    assert "n_edges" in out
+
+
+def test_train_and_evaluate_roundtrip(tmp_path, capsys):
+    ds = str(tmp_path / "g.npz")
+    emb = str(tmp_path / "emb.npz")
+    main(["dataset", "amazon-sim", ds, "--scale", "0.15"])
+    capsys.readouterr()
+    code = main(
+        ["train", "deepwalk", ds, emb, "--dim", "16", "--epochs", "1",
+         "--holdout", "0.2"]
+    )
+    assert code == 0
+    assert "16 embeddings" in capsys.readouterr().out
+    code = main(["evaluate", emb, ds, "--holdout", "0.2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ROC-AUC=" in out
+    roc = float(out.split("ROC-AUC=")[1].split("%")[0])
+    assert roc > 60.0  # trained on the same holdout split -> real signal
+
+
+def test_train_unknown_model(tmp_path, capsys):
+    ds = str(tmp_path / "g.npz")
+    main(["dataset", "amazon-sim", ds, "--scale", "0.15"])
+    assert main(["train", "bert", ds, str(tmp_path / "e.npz")]) == 2
+    assert "unknown model" in capsys.readouterr().err
+
+
+def test_evaluate_shape_mismatch(tmp_path, capsys):
+    ds = str(tmp_path / "g.npz")
+    emb = str(tmp_path / "e.npz")
+    main(["dataset", "amazon-sim", ds, "--scale", "0.15"])
+    np.savez_compressed(emb, embeddings=np.zeros((3, 4)))
+    assert main(["evaluate", emb, ds]) == 2
+
+
+def test_dataset_error_reported(tmp_path, capsys):
+    assert main(["dataset", "imaginary", str(tmp_path / "x.npz")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_module_entrypoint():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"], capture_output=True, text=True
+    )
+    assert proc.returncode == 0
+    assert "dataset" in proc.stdout
+
+
+def test_node_classification_task(small_amazon):
+    from repro.errors import ReproError
+    from repro.tasks import evaluate_node_classification
+
+    # Labels = community (feature argmax); planted one-hot embeddings of the
+    # community must classify perfectly.
+    labels = small_amazon.vertex_features[:, :6].argmax(axis=1)
+    onehot = np.zeros((small_amazon.n_vertices, 6))
+    onehot[np.arange(small_amazon.n_vertices), labels] = 1.0
+    micro, macro = evaluate_node_classification(onehot, labels, seed=0)
+    assert micro > 95.0 and macro > 95.0
+    rng = np.random.default_rng(0)
+    micro_r, _ = evaluate_node_classification(
+        rng.normal(size=(small_amazon.n_vertices, 6)), labels, seed=0
+    )
+    assert micro_r < micro
+
+
+def test_node_classification_validations():
+    from repro.errors import ReproError
+    from repro.tasks import evaluate_node_classification
+
+    with pytest.raises(ReproError):
+        evaluate_node_classification(np.zeros((4, 2)), np.array([0, 1, 0]))
+    with pytest.raises(ReproError):
+        evaluate_node_classification(
+            np.zeros((4, 2)), np.zeros(4, dtype=int)
+        )  # single class
+    with pytest.raises(ReproError):
+        evaluate_node_classification(
+            np.zeros((4, 2)), np.array([0, 1, 0, 1]), train_fraction=1.5
+        )

@@ -1,0 +1,297 @@
+"""Extension features (paper §7 future work + operational hardening):
+edge/subgraph embeddings, early stopping, AutoGNN, worker failure handling
+and streaming updates."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.automl import AutoGNN, default_candidates
+from repro.algorithms.framework import GNNFramework
+from repro.errors import ReproError, StorageError, TrainingError
+from repro.graph.dynamic import EdgeEvent
+from repro.storage import ImportanceCachePolicy
+from repro.storage.cluster import make_store
+from repro.storage.costmodel import EV_FAILOVER_READ
+from repro.tasks.edge_embeddings import (
+    edge_embedding,
+    neighborhood_subgraph_embedding,
+    subgraph_embedding,
+    whole_graph_embedding,
+)
+
+
+# --------------------------------------------------------------------- #
+# Edge / subgraph embeddings
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def emb():
+    return np.array([[1.0, 2.0], [3.0, 4.0], [0.0, 1.0]])
+
+
+def test_edge_operators(emb):
+    pairs = np.array([[0, 1]])
+    np.testing.assert_allclose(edge_embedding(emb, pairs, "hadamard"), [[3.0, 8.0]])
+    np.testing.assert_allclose(edge_embedding(emb, pairs, "average"), [[2.0, 3.0]])
+    np.testing.assert_allclose(edge_embedding(emb, pairs, "l1"), [[2.0, 2.0]])
+    np.testing.assert_allclose(edge_embedding(emb, pairs, "l2"), [[4.0, 4.0]])
+    np.testing.assert_allclose(
+        edge_embedding(emb, pairs, "concat"), [[1.0, 2.0, 3.0, 4.0]]
+    )
+
+
+def test_edge_operator_validation(emb):
+    with pytest.raises(ReproError):
+        edge_embedding(emb, np.array([[0, 1]]), "xor")
+    with pytest.raises(ReproError):
+        edge_embedding(emb, np.array([0, 1]))
+
+
+def test_symmetric_operators_are_symmetric(emb):
+    fwd = np.array([[0, 1]])
+    rev = np.array([[1, 0]])
+    for op in ("hadamard", "average", "l1", "l2"):
+        np.testing.assert_allclose(
+            edge_embedding(emb, fwd, op), edge_embedding(emb, rev, op)
+        )
+    assert not np.allclose(
+        edge_embedding(emb, fwd, "concat"), edge_embedding(emb, rev, "concat")
+    )
+
+
+def test_subgraph_pooling(emb, tiny_graph):
+    ids = np.array([0, 1])
+    np.testing.assert_allclose(subgraph_embedding(emb, ids, "mean"), [2.0, 3.0])
+    np.testing.assert_allclose(subgraph_embedding(emb, ids, "max"), [3.0, 4.0])
+    weighted = subgraph_embedding(emb, ids, "degree", graph=tiny_graph)
+    # Vertex 0 has out-degree 2, vertex 1 has 1: weights 3/5 and 2/5.
+    np.testing.assert_allclose(weighted, [3 / 5 * 1 + 2 / 5 * 3, 3 / 5 * 2 + 2 / 5 * 4])
+
+
+def test_subgraph_validations(emb, tiny_graph):
+    with pytest.raises(ReproError):
+        subgraph_embedding(emb, np.array([], dtype=np.int64))
+    with pytest.raises(ReproError):
+        subgraph_embedding(emb, np.array([0]), "degree")  # graph missing
+    with pytest.raises(ReproError):
+        subgraph_embedding(emb, np.array([0]), "sum")
+
+
+def test_neighborhood_subgraph(tiny_graph):
+    rng = np.random.default_rng(0)
+    emb6 = rng.normal(size=(6, 3))
+    zero_hop = neighborhood_subgraph_embedding(emb6, tiny_graph, center=0, hops=0)
+    np.testing.assert_allclose(zero_hop, emb6[0])
+    one_hop = neighborhood_subgraph_embedding(emb6, tiny_graph, center=0, hops=1)
+    np.testing.assert_allclose(one_hop, emb6[[0, 1, 2]].mean(axis=0))
+    with pytest.raises(ReproError):
+        neighborhood_subgraph_embedding(emb6, tiny_graph, center=0, hops=-1)
+
+
+def test_whole_graph_embedding(tiny_graph):
+    emb6 = np.random.default_rng(1).normal(size=(6, 3))
+    vec = whole_graph_embedding(emb6, tiny_graph)
+    assert vec.shape == (3,)
+
+
+# --------------------------------------------------------------------- #
+# Early stopping
+# --------------------------------------------------------------------- #
+def test_early_stop_triggers(small_amazon):
+    model = GNNFramework(
+        dim=12, kmax=1, fanout=4, epochs=30, max_steps_per_epoch=3,
+        early_stop_patience=2, early_stop_min_delta=10.0,  # impossible bar
+        seed=0,
+    )
+    model.fit(small_amazon)
+    assert model.stopped_early
+    assert len(model.loss_history) < 30
+
+
+def test_early_stop_disabled_by_default(small_amazon):
+    model = GNNFramework(
+        dim=12, kmax=1, fanout=4, epochs=3, max_steps_per_epoch=3, seed=0
+    )
+    model.fit(small_amazon)
+    assert not model.stopped_early
+    assert len(model.loss_history) == 3
+
+
+# --------------------------------------------------------------------- #
+# AutoGNN
+# --------------------------------------------------------------------- #
+def test_autognn_selects_and_fits(small_amazon):
+    auto = AutoGNN(
+        candidates=default_candidates()[:2],
+        validation_fraction=0.2,
+        seed=0,
+    )
+    auto.fit(small_amazon)
+    assert auto.best_candidate in ("deepwalk", "sage-mean-f4")
+    assert auto.embeddings().shape[0] == small_amazon.n_vertices
+    assert all(r.score > 50.0 for r in auto.results if r.fitted)
+
+
+def test_autognn_skips_broken_candidates(small_amazon):
+    from repro.algorithms.metapath2vec import Metapath2Vec
+
+    auto = AutoGNN(
+        candidates=[
+            # Metapath2Vec with an unknown start type fails with
+            # TrainingError — AutoGNN must survive it.
+            ("broken", lambda: Metapath2Vec(metapath=["user", "item"])),
+            ("deepwalk", default_candidates()[0][1]),
+        ],
+        seed=0,
+    )
+    auto.fit(small_amazon)
+    assert auto.best_candidate == "deepwalk"
+
+
+def test_autognn_validations(small_amazon):
+    with pytest.raises(TrainingError):
+        AutoGNN(metric="accuracy")
+    with pytest.raises(TrainingError):
+        AutoGNN(candidates=[]).fit(small_amazon)
+    with pytest.raises(TrainingError):
+        AutoGNN().best_candidate
+
+
+# --------------------------------------------------------------------- #
+# Worker failure handling
+# --------------------------------------------------------------------- #
+def test_failed_owner_without_replica_raises(small_powerlaw):
+    store = make_store(small_powerlaw, 4, seed=0)
+    v = 0
+    owner = store.owner(v)
+    store.fail_worker(owner)
+    other = (owner + 1) % 4
+    with pytest.raises(StorageError):
+        store.neighbors(v, from_part=other)
+
+
+def test_failed_owner_served_from_cache_replica(small_powerlaw):
+    store = make_store(
+        small_powerlaw, 4,
+        cache_policy=ImportanceCachePolicy(), cache_budget_fraction=0.5, seed=0,
+    )
+    from repro.storage.importance import importance_scores
+
+    hot = int(np.argsort(importance_scores(small_powerlaw, 2))[::-1][0])
+    owner = store.owner(hot)
+    store.fail_worker(owner)
+    issuer = (owner + 1) % 4
+    # The issuer's own cache may serve it; if so, drop that copy to force
+    # the failover path through a third server.
+    store.servers[issuer].neighbor_cache.invalidate(hot)
+    got = store.neighbors(hot, from_part=issuer)
+    np.testing.assert_array_equal(
+        np.sort(got), np.sort(small_powerlaw.out_neighbors(hot))
+    )
+    assert store.ledger.count(EV_FAILOVER_READ) == 1
+
+
+def test_failed_issuer_rejected(small_powerlaw):
+    store = make_store(small_powerlaw, 2, seed=0)
+    store.fail_worker(0)
+    with pytest.raises(StorageError):
+        store.neighbors(0, from_part=0)
+
+
+def test_restore_worker(small_powerlaw):
+    store = make_store(small_powerlaw, 2, seed=0)
+    v = 0
+    owner = store.owner(v)
+    store.fail_worker(owner)
+    assert owner in store.failed_workers
+    store.restore_worker(owner)
+    assert owner not in store.failed_workers
+    got = store.neighbors(v, from_part=(owner + 1) % 2)
+    np.testing.assert_array_equal(
+        np.sort(got), np.sort(small_powerlaw.out_neighbors(v))
+    )
+
+
+def test_fail_unknown_worker(small_powerlaw):
+    store = make_store(small_powerlaw, 2, seed=0)
+    with pytest.raises(StorageError):
+        store.fail_worker(7)
+
+
+# --------------------------------------------------------------------- #
+# Streaming updates
+# --------------------------------------------------------------------- #
+def test_apply_edge_addition_visible(small_powerlaw):
+    store = make_store(small_powerlaw, 2, seed=0)
+    u = 0
+    before = small_powerlaw.out_neighbors(u)
+    new_dst = int((before.max() + 1) % small_powerlaw.n_vertices)
+    while new_dst in set(int(x) for x in before):
+        new_dst = (new_dst + 1) % small_powerlaw.n_vertices
+    applied = store.apply_edge_events([EdgeEvent(timestamp=0, src=u, dst=new_dst)])
+    assert applied == 1
+    got = store.neighbors(u, from_part=store.owner(u))
+    assert new_dst in set(int(x) for x in got)
+
+
+def test_apply_edge_removal(small_powerlaw):
+    store = make_store(small_powerlaw, 2, seed=0)
+    u = int(np.argmax(small_powerlaw.out_degrees()))
+    victim = int(small_powerlaw.out_neighbors(u)[0])
+    applied = store.apply_edge_events(
+        [EdgeEvent(timestamp=0, src=u, dst=victim, kind="remove")]
+    )
+    assert applied == 1
+    got = store.neighbors(u, from_part=store.owner(u))
+    # One copy removed (parallel arcs may retain others).
+    assert list(got).count(victim) == list(
+        small_powerlaw.out_neighbors(u)
+    ).count(victim) - 1
+
+
+def test_remove_absent_edge_not_counted(small_powerlaw):
+    store = make_store(small_powerlaw, 2, seed=0)
+    u = 0
+    absent = int(small_powerlaw.out_neighbors(u).max() + 1) % small_powerlaw.n_vertices
+    while small_powerlaw.has_edge(u, absent):
+        absent = (absent + 1) % small_powerlaw.n_vertices
+    applied = store.apply_edge_events(
+        [EdgeEvent(timestamp=0, src=u, dst=absent, kind="remove")]
+    )
+    assert applied == 0
+
+
+def test_update_invalidates_caches(small_powerlaw):
+    store = make_store(
+        small_powerlaw, 2,
+        cache_policy=ImportanceCachePolicy(), cache_budget_fraction=0.5, seed=0,
+    )
+    from repro.storage.importance import importance_scores
+
+    hot = int(np.argsort(importance_scores(small_powerlaw, 2))[::-1][0])
+    other = (store.owner(hot) + 1) % 2
+    before = store.neighbors(hot, from_part=other)  # served from cache
+    new_dst = 0
+    while small_powerlaw.has_edge(hot, new_dst) or new_dst == hot:
+        new_dst += 1
+    store.apply_edge_events([EdgeEvent(timestamp=0, src=hot, dst=new_dst)])
+    after = store.neighbors(hot, from_part=other)
+    assert new_dst in set(int(x) for x in after)
+    assert after.size == before.size + 1
+
+
+def test_update_to_failed_owner_rejected(small_powerlaw):
+    store = make_store(small_powerlaw, 2, seed=0)
+    u = 0
+    store.fail_worker(store.owner(u))
+    with pytest.raises(StorageError):
+        store.apply_edge_events([EdgeEvent(timestamp=0, src=u, dst=1)])
+
+
+def test_lru_delete():
+    from repro.utils.lru import LRUCache
+
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    assert cache.delete("a")
+    assert not cache.delete("a")
+    assert "a" not in cache

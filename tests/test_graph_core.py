@@ -1,0 +1,164 @@
+"""Graph core: CSR construction, adjacency access, derived structures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph import Graph
+
+
+def test_basic_counts(tiny_graph):
+    assert tiny_graph.n_vertices == 6
+    assert tiny_graph.n_edges == 7
+
+
+def test_out_neighbors(tiny_graph):
+    assert sorted(tiny_graph.out_neighbors(0).tolist()) == [1, 2]
+    assert tiny_graph.out_neighbors(5).size == 0
+
+
+def test_in_neighbors(tiny_graph):
+    assert sorted(tiny_graph.in_neighbors(2).tolist()) == [0, 1]
+    assert tiny_graph.in_neighbors(0).tolist() == [4]
+
+
+def test_degrees(tiny_graph):
+    assert tiny_graph.out_degree(0) == 2
+    assert tiny_graph.in_degree(2) == 2
+    np.testing.assert_array_equal(
+        tiny_graph.out_degrees(), np.array([2, 1, 1, 1, 2, 0])
+    )
+    assert tiny_graph.out_degrees().sum() == tiny_graph.in_degrees().sum()
+
+
+def test_edge_weights(tiny_graph):
+    assert tiny_graph.edge_weight(0, 2) == 2.0
+    assert tiny_graph.edge_weight(4, 5) == 7.0
+    with pytest.raises(EdgeNotFoundError):
+        tiny_graph.edge_weight(5, 0)
+
+
+def test_out_weights_aligned(tiny_graph):
+    nbrs = tiny_graph.out_neighbors(0)
+    weights = tiny_graph.out_weights(0)
+    for n, w in zip(nbrs, weights):
+        assert tiny_graph.edge_weight(0, int(n)) == w
+
+
+def test_has_edge(tiny_graph):
+    assert tiny_graph.has_edge(0, 1)
+    assert not tiny_graph.has_edge(1, 0)  # directed
+
+
+def test_undirected_symmetry(tiny_undirected):
+    assert tiny_undirected.has_edge(0, 1)
+    assert tiny_undirected.has_edge(1, 0)
+    assert tiny_undirected.edge_weight(0, 1) == tiny_undirected.edge_weight(1, 0)
+    assert tiny_undirected.n_edges == 4  # each edge counted once
+    assert tiny_undirected.out_degree(0) == 2  # mirrored adjacency
+
+
+def test_undirected_in_equals_out(tiny_undirected):
+    np.testing.assert_array_equal(
+        np.sort(tiny_undirected.in_neighbors(1)),
+        np.sort(tiny_undirected.out_neighbors(1)),
+    )
+
+
+def test_edges_iterator(tiny_graph):
+    edges = list(tiny_graph.edges())
+    assert len(edges) == 7
+    assert (0, 1, 1.0) in edges
+
+
+def test_adjacency_matrix(tiny_graph):
+    a = tiny_graph.adjacency_matrix()
+    assert a[0, 1] == 1.0
+    assert a[1, 0] == 0.0
+    assert a.sum() == np.arange(1, 8).sum()
+
+
+def test_adjacency_matrix_undirected(tiny_undirected):
+    a = tiny_undirected.adjacency_matrix()
+    np.testing.assert_array_equal(a, a.T)
+
+
+def test_adjacency_matrix_size_guard():
+    empty = np.zeros(0, dtype=np.int64)
+    g = Graph(30_000, empty, empty)
+    with pytest.raises(GraphError):
+        g.adjacency_matrix()
+
+
+def test_subgraph_induces_edges(tiny_graph):
+    sub, old_ids = tiny_graph.subgraph(np.array([0, 1, 2]))
+    assert sub.n_vertices == 3
+    assert sub.n_edges == 3  # 0->1, 0->2, 1->2
+    np.testing.assert_array_equal(old_ids, [0, 1, 2])
+
+
+def test_subgraph_remaps_ids(tiny_graph):
+    sub, old_ids = tiny_graph.subgraph(np.array([2, 3, 4]))
+    # old 2->3 and 3->4 survive, as new 0->1, 1->2.
+    assert sub.has_edge(0, 1)
+    assert sub.has_edge(1, 2)
+    np.testing.assert_array_equal(old_ids, [2, 3, 4])
+
+
+def test_subgraph_rejects_unknown(tiny_graph):
+    with pytest.raises(GraphError):
+        tiny_graph.subgraph(np.array([0, 99]))
+
+
+def test_vertex_bounds_checked(tiny_graph):
+    with pytest.raises(VertexNotFoundError):
+        tiny_graph.out_neighbors(6)
+    with pytest.raises(VertexNotFoundError):
+        tiny_graph.in_degree(-1)
+
+
+def test_construction_validations():
+    with pytest.raises(GraphError):
+        Graph(-1, np.array([0]), np.array([0]))
+    with pytest.raises(GraphError):
+        Graph(2, np.array([0, 1]), np.array([1]))  # ragged
+    with pytest.raises(GraphError):
+        Graph(2, np.array([0]), np.array([5]))  # endpoint out of range
+    with pytest.raises(GraphError):
+        Graph(2, np.array([0]), np.array([1]), weights=np.array([0.0]))  # w<=0
+    with pytest.raises(GraphError):
+        Graph(2, np.array([0]), np.array([1]), weights=np.array([1.0, 2.0]))
+
+
+def test_empty_graph():
+    empty = np.zeros(0, dtype=np.int64)
+    g = Graph(3, empty, empty)
+    assert g.n_edges == 0
+    assert g.out_neighbors(0).size == 0
+    assert g.in_degrees().sum() == 0
+
+
+def test_csr_arrays_consistent(tiny_graph):
+    indptr, indices, weights = tiny_graph.csr_arrays()
+    assert indptr[-1] == tiny_graph.n_edges
+    assert indices.size == weights.size == tiny_graph.n_edges
+
+
+def test_multi_edges_preserved():
+    # Two parallel arcs 0->1 with different weights both stored.
+    g = Graph(2, np.array([0, 0]), np.array([1, 1]), weights=np.array([1.0, 2.0]))
+    assert g.out_degree(0) == 2
+    np.testing.assert_array_equal(np.sort(g.out_weights(0)), [1.0, 2.0])
+
+
+def test_out_edge_ids_map_back(tiny_graph):
+    src, dst, _ = tiny_graph.edge_array()
+    for v in range(6):
+        for nbr, eid in zip(tiny_graph.out_neighbors(v), tiny_graph.out_edge_ids(v)):
+            assert src[eid] == v
+            assert dst[eid] == nbr
+
+
+def test_repr(tiny_graph, tiny_undirected):
+    assert "directed" in repr(tiny_graph)
+    assert "undirected" in repr(tiny_undirected)

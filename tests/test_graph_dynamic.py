@@ -1,0 +1,94 @@
+"""DynamicGraph: snapshot replay, event labelling, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import DynamicGraph, EdgeEvent, Graph
+
+
+def _base() -> Graph:
+    return Graph(4, np.array([0, 1]), np.array([1, 2]), directed=True)
+
+
+def test_from_events_applies_adds():
+    events = [EdgeEvent(timestamp=0, src=2, dst=3)]
+    dyn = DynamicGraph.from_events(_base(), events, n_timestamps=2)
+    assert dyn.snapshot(0).n_edges == 2
+    assert dyn.snapshot(1).n_edges == 3
+    assert dyn.snapshot(1).has_edge(2, 3)
+
+
+def test_from_events_applies_removals():
+    events = [EdgeEvent(timestamp=0, src=0, dst=1, kind="remove")]
+    dyn = DynamicGraph.from_events(_base(), events, n_timestamps=2)
+    assert not dyn.snapshot(1).has_edge(0, 1)
+    assert dyn.snapshot(1).n_edges == 1
+
+
+def test_remove_absent_edge_is_idempotent():
+    events = [EdgeEvent(timestamp=0, src=3, dst=0, kind="remove")]
+    dyn = DynamicGraph.from_events(_base(), events, n_timestamps=2)
+    assert dyn.snapshot(1).n_edges == 2
+
+
+def test_events_at():
+    events = [
+        EdgeEvent(timestamp=0, src=2, dst=3),
+        EdgeEvent(timestamp=1, src=3, dst=0),
+    ]
+    dyn = DynamicGraph.from_events(_base(), events, n_timestamps=3)
+    assert len(dyn.events_at(0)) == 1
+    assert len(dyn.events_at(1)) == 1
+    assert dyn.events_at(0)[0].dst == 3
+
+
+def test_burst_fraction():
+    events = [
+        EdgeEvent(timestamp=0, src=2, dst=3, burst=True),
+        EdgeEvent(timestamp=0, src=3, dst=0, burst=False),
+    ]
+    dyn = DynamicGraph.from_events(_base(), events, n_timestamps=2)
+    assert dyn.burst_fraction() == 0.5
+
+
+def test_burst_fraction_no_adds():
+    dyn = DynamicGraph.from_events(_base(), [], n_timestamps=2)
+    assert dyn.burst_fraction() == 0.0
+
+
+def test_event_kind_validated():
+    with pytest.raises(GraphError):
+        EdgeEvent(timestamp=0, src=0, dst=1, kind="mutate")
+
+
+def test_snapshot_bounds():
+    dyn = DynamicGraph.from_events(_base(), [], n_timestamps=2)
+    with pytest.raises(GraphError):
+        dyn.snapshot(5)
+
+
+def test_constructor_validations():
+    with pytest.raises(GraphError):
+        DynamicGraph([], [])
+    g1 = _base()
+    g2 = Graph(5, np.array([0]), np.array([1]))
+    with pytest.raises(GraphError):
+        DynamicGraph([g1, g2], [])  # vertex-set mismatch
+    with pytest.raises(GraphError):
+        DynamicGraph([g1], [EdgeEvent(timestamp=3, src=0, dst=1)])
+
+
+def test_n_properties():
+    dyn = DynamicGraph.from_events(_base(), [], n_timestamps=4)
+    assert dyn.n_timestamps == 4
+    assert dyn.n_vertices == 4
+
+
+def test_all_edges_removed_yields_empty_snapshot():
+    events = [
+        EdgeEvent(timestamp=0, src=0, dst=1, kind="remove"),
+        EdgeEvent(timestamp=0, src=1, dst=2, kind="remove"),
+    ]
+    dyn = DynamicGraph.from_events(_base(), events, n_timestamps=2)
+    assert dyn.snapshot(1).n_edges == 0

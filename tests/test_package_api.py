@@ -1,0 +1,81 @@
+"""The public package surface: everything advertised imports and exists."""
+
+import importlib
+
+import pytest
+
+
+def test_top_level_import():
+    import repro
+
+    assert repro.__version__
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None or name == "__version__"
+
+
+@pytest.mark.parametrize(
+    "module,names",
+    [
+        (
+            "repro.algorithms",
+            ["GATNE", "GraphSAGE", "AutoGNN", "EvolvingGNN", "BayesianGNN",
+             "MixtureGNN", "HierarchicalGNN", "HEP", "AHEP", "DeepWalk",
+             "Node2Vec", "LINE", "NetMF", "Metapath2Vec", "ANRL", "PMNE",
+             "MVE", "MNE", "Struc2Vec", "GCN", "FastGCN", "ASGCN", "TNE",
+             "DANE", "DAE", "BetaVAE"],
+        ),
+        (
+            "repro.storage",
+            ["DistributedGraphStore", "GraphServer", "CostModel",
+             "ImportanceCachePolicy", "RandomCachePolicy", "LRUCachePolicy",
+             "plan_importance_cache", "importance_scores", "build_distributed"],
+        ),
+        (
+            "repro.sampling",
+            ["VertexTraverseSampler", "EdgeTraverseSampler",
+             "UniformNeighborSampler", "WeightedNeighborSampler",
+             "DegreeBiasedNegativeSampler", "TypeAwareNegativeSampler",
+             "SamplingPipeline", "random_walks", "node2vec_walks",
+             "metapath_walks"],
+        ),
+        (
+            "repro.ops",
+            ["MeanAggregator", "MaxPoolAggregator", "LSTMAggregator",
+             "AttentionAggregator", "ConcatCombiner", "GRUCombiner",
+             "MaterializationCache", "MinibatchExecutor"],
+        ),
+        (
+            "repro.tasks",
+            ["roc_auc", "pr_auc", "f1_score", "hit_recall_at_k",
+             "evaluate_link_prediction", "evaluate_link_prediction_typed",
+             "evaluate_recommendation", "evaluate_edge_classification",
+             "evaluate_node_classification", "edge_embedding",
+             "subgraph_embedding"],
+        ),
+        (
+            "repro.data",
+            ["make_dataset", "taobao_graph", "amazon_graph", "dynamic_taobao",
+             "knowledge_graph", "train_test_split_edges", "powerlaw_graph"],
+        ),
+        (
+            "repro.nn",
+            ["Tensor", "Dense", "Embedding", "GRUCell", "LSTMCell", "Adam",
+             "SGD", "bce_with_logits", "skipgram_negative_loss"],
+        ),
+        (
+            "repro.graph",
+            ["Graph", "AttributedHeterogeneousGraph", "GraphBuilder",
+             "DynamicGraph", "EdgeEvent"],
+        ),
+    ],
+)
+def test_advertised_names_exist(module, names):
+    mod = importlib.import_module(module)
+    for name in names:
+        assert hasattr(mod, name), f"{module}.{name} missing"
+
+
+def test_cli_importable():
+    from repro.cli import main
+
+    assert callable(main)

@@ -1,0 +1,120 @@
+"""Importance metric, k-hop degrees, Algorithm 2 and Theorems 1–2."""
+
+import numpy as np
+import pytest
+
+from repro.data import powerlaw_graph
+from repro.errors import StorageError
+from repro.graph import Graph
+from repro.storage.importance import (
+    importance_scores,
+    khop_degrees,
+    plan_importance_cache,
+)
+from repro.utils.powerlaw import gini_coefficient, tail_mass
+
+
+def _path_graph() -> Graph:
+    # 0 -> 1 -> 2 -> 3
+    return Graph(4, np.array([0, 1, 2]), np.array([1, 2, 3]), directed=True)
+
+
+def test_khop_multiplicity_path():
+    d_in, d_out = khop_degrees(_path_graph(), 1)
+    np.testing.assert_array_equal(d_out, [1, 1, 1, 0])
+    np.testing.assert_array_equal(d_in, [0, 1, 1, 1])
+    d_in2, d_out2 = khop_degrees(_path_graph(), 2)
+    # Cumulative walks of length 1..2.
+    np.testing.assert_array_equal(d_out2, [2, 2, 1, 0])
+    np.testing.assert_array_equal(d_in2, [0, 1, 2, 2])
+
+
+def test_khop_exact_counts_distinct():
+    # Star: 0 -> {1, 2, 3}, 1 -> 2. Exact 2-hop out of 0 is {1,2,3} = 3.
+    g = Graph(4, np.array([0, 0, 0, 1]), np.array([1, 2, 3, 2]), directed=True)
+    d_in, d_out = khop_degrees(g, 2, method="exact")
+    assert d_out[0] == 3  # distinct vertices, 2 counted once
+    d_in_m, d_out_m = khop_degrees(g, 2, method="multiplicity")
+    assert d_out_m[0] == 4  # walks: 0-1,0-2,0-3,0-1-2
+
+
+def test_khop_exact_undirected_symmetric(tiny_undirected):
+    d_in, d_out = khop_degrees(tiny_undirected, 2, method="exact")
+    np.testing.assert_array_equal(d_in, d_out)
+
+
+def test_khop_validations(tiny_graph):
+    with pytest.raises(StorageError):
+        khop_degrees(tiny_graph, 0)
+    with pytest.raises(StorageError):
+        khop_degrees(tiny_graph, 1, method="bogus")
+
+
+def test_importance_zero_when_no_out():
+    g = _path_graph()
+    scores = importance_scores(g, 1)
+    assert scores[3] == 0.0  # sink: nothing to cache
+    assert scores[0] == 0.0  # source: nobody reaches it
+    assert scores[1] == 1.0
+
+
+def test_importance_methods_correlate(small_powerlaw):
+    mult = importance_scores(small_powerlaw, 2, method="multiplicity")
+    exact = importance_scores(small_powerlaw, 2, method="exact")
+    # Rankings agree strongly even though counting semantics differ.
+    from scipy.stats import spearmanr
+
+    rho, _ = spearmanr(mult, exact)
+    assert rho > 0.7
+
+
+def test_plan_thresholds_monotone(small_powerlaw):
+    low = plan_importance_cache(small_powerlaw, max_hop=2, thresholds=0.05)
+    high = plan_importance_cache(small_powerlaw, max_hop=2, thresholds=0.45)
+    assert low.cache_fraction(1000) >= high.cache_fraction(1000)
+    assert set(high.all_cached_vertices()) <= set(low.all_cached_vertices())
+
+
+def test_plan_per_hop_thresholds(small_powerlaw):
+    plan = plan_importance_cache(small_powerlaw, max_hop=2, thresholds=[0.1, 0.3])
+    assert plan.thresholds == [0.1, 0.3]
+    assert 1 in plan.cached_by_hop and 2 in plan.cached_by_hop
+
+
+def test_plan_threshold_count_validation(small_powerlaw):
+    with pytest.raises(StorageError):
+        plan_importance_cache(small_powerlaw, max_hop=2, thresholds=[0.1])
+
+
+def test_plan_max_cached_hop(small_powerlaw):
+    plan = plan_importance_cache(small_powerlaw, max_hop=2, thresholds=0.1)
+    cached = plan.cached_by_hop[2]
+    if cached.size:
+        assert plan.max_cached_hop(int(cached[0])) >= 1
+    assert plan.max_cached_hop(-1) == 0
+
+
+def test_empty_plan():
+    from repro.storage.importance import CachePlan
+
+    plan = CachePlan(max_hop=2, thresholds=[0.2, 0.2])
+    assert plan.all_cached_vertices().size == 0
+    assert plan.cache_fraction(0) == 0.0
+
+
+def test_theorem1_khop_degrees_heavy_tailed():
+    """Theorem 1: power-law degrees imply heavy-tailed k-hop counts."""
+    g = powerlaw_graph(3000, alpha=2.1, max_degree=300, preferential=True, seed=11)
+    for k in (1, 2):
+        d_in, d_out = khop_degrees(g, k)
+        assert tail_mass(d_in, 0.1) > 0.5, f"k={k} in-counts not heavy-tailed"
+        assert tail_mass(d_out, 0.1) > 0.4, f"k={k} out-counts not heavy-tailed"
+
+
+def test_theorem2_importance_heavy_tailed():
+    """Theorem 2: importance is heavy-tailed -> few vertices worth caching."""
+    g = powerlaw_graph(3000, alpha=2.1, max_degree=300, preferential=True, seed=11)
+    scores = importance_scores(g, 2)
+    assert gini_coefficient(scores) > 0.6
+    # The top decile carries most of the importance mass.
+    assert tail_mass(scores, 0.1) > 0.5

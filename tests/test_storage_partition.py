@@ -1,0 +1,191 @@
+"""The four partition strategies: validity, balance, quality, registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import powerlaw_graph
+from repro.errors import PartitionError
+from repro.graph import Graph
+from repro.storage.partition import (
+    EdgeCutPartitioner,
+    MetisPartitioner,
+    PartitionAssignment,
+    StreamingPartitioner,
+    TwoDimPartitioner,
+    VertexCutPartitioner,
+    get_partitioner,
+)
+from repro.storage.partition.base import available_partitioners
+from repro.storage.partition.twodim import squarest_grid
+
+
+def _community_graph(seed: int = 0) -> Graph:
+    """Two dense communities joined by a single bridge edge."""
+    rng = np.random.default_rng(seed)
+    src, dst = [], []
+    for offset in (0, 50):
+        for _ in range(400):
+            u, v = rng.integers(0, 50, size=2)
+            if u != v:
+                src.append(offset + u)
+                dst.append(offset + v)
+    src.append(0)
+    dst.append(50)
+    return Graph(100, np.array(src), np.array(dst), directed=True)
+
+
+ALL_PARTITIONERS = [
+    EdgeCutPartitioner(),
+    VertexCutPartitioner(),
+    MetisPartitioner(seed=1),
+    TwoDimPartitioner(),
+    StreamingPartitioner(),
+]
+
+
+@pytest.mark.parametrize("partitioner", ALL_PARTITIONERS, ids=lambda p: p.name)
+def test_every_vertex_assigned(partitioner, small_powerlaw):
+    assignment = partitioner.partition(small_powerlaw, 4)
+    assert assignment.vertex_to_part.shape == (small_powerlaw.n_vertices,)
+    assert assignment.vertex_to_part.min() >= 0
+    assert assignment.vertex_to_part.max() < 4
+    assert assignment.edge_to_part.shape == (small_powerlaw.n_edges,)
+
+
+@pytest.mark.parametrize("partitioner", ALL_PARTITIONERS, ids=lambda p: p.name)
+def test_single_part_no_cut(partitioner, small_powerlaw):
+    assignment = partitioner.partition(small_powerlaw, 1)
+    assert assignment.edge_cut_fraction() == 0.0
+    assert assignment.balance() == 1.0
+
+
+@pytest.mark.parametrize(
+    "partitioner",
+    [EdgeCutPartitioner(), MetisPartitioner(seed=1), StreamingPartitioner(), TwoDimPartitioner()],
+    ids=lambda p: p.name,
+)
+def test_reasonable_balance(partitioner, small_powerlaw):
+    assignment = partitioner.partition(small_powerlaw, 4)
+    assert assignment.balance() < 1.6
+
+
+def test_metis_beats_hash_on_community_graph():
+    g = _community_graph()
+    hash_cut = EdgeCutPartitioner().partition(g, 2).edge_cut_fraction()
+    metis_cut = MetisPartitioner(seed=1).partition(g, 2).edge_cut_fraction()
+    assert metis_cut < hash_cut
+    assert metis_cut < 0.1  # the bridge structure is essentially recovered
+
+
+def test_streaming_beats_hash_on_community_graph():
+    g = _community_graph()
+    hash_cut = EdgeCutPartitioner().partition(g, 2).edge_cut_fraction()
+    ldg_cut = StreamingPartitioner(order="bfs").partition(g, 2).edge_cut_fraction()
+    assert ldg_cut < hash_cut
+
+
+def test_streaming_capacity_respected(small_powerlaw):
+    p = StreamingPartitioner(slack=1.05)
+    assignment = p.partition(small_powerlaw, 5)
+    capacity = 1.05 * small_powerlaw.n_vertices / 5
+    assert assignment.vertex_counts().max() <= capacity + 1
+
+
+def test_streaming_order_validation():
+    with pytest.raises(ValueError):
+        StreamingPartitioner(order="zigzag")
+    with pytest.raises(ValueError):
+        StreamingPartitioner(slack=0.5)
+
+
+def test_vertex_cut_replication_reported(small_powerlaw):
+    assignment = VertexCutPartitioner().partition(small_powerlaw, 4)
+    rf = assignment.replication_factor()
+    assert 1.0 <= rf <= 4.0
+
+
+def test_vertex_cut_lower_replication_than_random_edges(small_powerlaw):
+    greedy = VertexCutPartitioner().partition(small_powerlaw, 4)
+    # Random edge placement baseline.
+    rng = np.random.default_rng(0)
+    random_edges = rng.integers(0, 4, size=small_powerlaw.n_edges)
+    random_assignment = PartitionAssignment(
+        small_powerlaw, 4, greedy.vertex_to_part, edge_to_part=random_edges
+    )
+    assert greedy.replication_factor() < random_assignment.replication_factor()
+
+
+def test_2d_grid_shapes():
+    assert squarest_grid(4) == (2, 2)
+    assert squarest_grid(6) == (2, 3)
+    assert squarest_grid(7) == (1, 7)
+    with pytest.raises(PartitionError):
+        squarest_grid(0)
+
+
+def test_2d_explicit_grid_mismatch(small_powerlaw):
+    with pytest.raises(PartitionError):
+        TwoDimPartitioner(grid=(2, 2)).partition(small_powerlaw, 6)
+
+
+def test_2d_edge_placement_follows_blocks(small_powerlaw):
+    assignment = TwoDimPartitioner().partition(small_powerlaw, 4)
+    # 2x2 grid: edge part = rowblock(src)*2 + colblock(dst).
+    n = small_powerlaw.n_vertices
+    src, dst, _ = small_powerlaw.edge_array()
+    row = np.minimum(src * 2 // n, 1)
+    col = np.minimum(dst * 2 // n, 1)
+    np.testing.assert_array_equal(assignment.edge_to_part, row * 2 + col)
+
+
+def test_metis_deterministic_with_seed(small_powerlaw):
+    a1 = MetisPartitioner(seed=5).partition(small_powerlaw, 3)
+    a2 = MetisPartitioner(seed=5).partition(small_powerlaw, 3)
+    np.testing.assert_array_equal(a1.vertex_to_part, a2.vertex_to_part)
+
+
+def test_edge_cut_deterministic(small_powerlaw):
+    a1 = EdgeCutPartitioner(salt=2).partition(small_powerlaw, 4)
+    a2 = EdgeCutPartitioner(salt=2).partition(small_powerlaw, 4)
+    np.testing.assert_array_equal(a1.vertex_to_part, a2.vertex_to_part)
+
+
+def test_registry_contains_all_four_families():
+    names = available_partitioners()
+    for expected in ("metis", "edge_cut", "vertex_cut", "2d", "streaming"):
+        assert expected in names
+
+
+def test_registry_instantiates():
+    p = get_partitioner("metis", seed=3)
+    assert isinstance(p, MetisPartitioner)
+    assert p.seed == 3
+
+
+def test_registry_unknown():
+    with pytest.raises(PartitionError):
+        get_partitioner("quantum")
+
+
+def test_assignment_validations(small_powerlaw):
+    with pytest.raises(PartitionError):
+        PartitionAssignment(small_powerlaw, 2, np.zeros(3, dtype=np.int64))
+    bad = np.zeros(small_powerlaw.n_vertices, dtype=np.int64)
+    bad[0] = 9
+    with pytest.raises(PartitionError):
+        PartitionAssignment(small_powerlaw, 2, bad)
+
+
+def test_part_vertices_partition_the_set(small_powerlaw):
+    assignment = EdgeCutPartitioner().partition(small_powerlaw, 3)
+    union = np.concatenate([assignment.part_vertices(p) for p in range(3)])
+    assert np.sort(union).tolist() == list(range(small_powerlaw.n_vertices))
+    with pytest.raises(PartitionError):
+        assignment.part_vertices(3)
+
+
+def test_crossing_edges_match_fraction(small_powerlaw):
+    assignment = EdgeCutPartitioner().partition(small_powerlaw, 4)
+    assert assignment.edge_cut_fraction() == pytest.approx(
+        assignment.crossing_edges() / small_powerlaw.n_edges
+    )

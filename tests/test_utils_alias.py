@@ -1,0 +1,86 @@
+"""AliasTable: O(1) weighted sampling correctness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.utils.alias import AliasTable
+from repro.utils.rng import make_rng
+
+
+def test_single_element_always_drawn():
+    table = AliasTable(np.array([3.0]))
+    rng = make_rng(0)
+    assert all(table.draw(rng) == 0 for _ in range(20))
+
+
+def test_batch_matches_weights():
+    weights = np.array([1.0, 2.0, 7.0])
+    table = AliasTable(weights)
+    rng = make_rng(1)
+    draws = table.draw_batch(rng, 60_000)
+    freq = np.bincount(draws, minlength=3) / draws.size
+    np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.01)
+
+
+def test_single_draw_matches_weights():
+    weights = np.array([5.0, 1.0])
+    table = AliasTable(weights)
+    rng = make_rng(2)
+    draws = np.array([table.draw(rng) for _ in range(20_000)])
+    assert abs(np.mean(draws == 0) - 5.0 / 6.0) < 0.02
+
+
+def test_zero_weight_entries_never_drawn():
+    table = AliasTable(np.array([0.0, 1.0, 0.0, 1.0]))
+    rng = make_rng(3)
+    draws = table.draw_batch(rng, 5000)
+    assert set(np.unique(draws)) <= {1, 3}
+
+
+def test_uniform_weights():
+    table = AliasTable(np.ones(10))
+    rng = make_rng(4)
+    draws = table.draw_batch(rng, 50_000)
+    freq = np.bincount(draws, minlength=10) / draws.size
+    np.testing.assert_allclose(freq, 0.1, atol=0.01)
+
+
+def test_len():
+    assert len(AliasTable(np.ones(7))) == 7
+
+
+def test_rejects_empty():
+    with pytest.raises(SamplingError):
+        AliasTable(np.array([]))
+
+
+def test_rejects_negative():
+    with pytest.raises(SamplingError):
+        AliasTable(np.array([1.0, -1.0]))
+
+
+def test_rejects_all_zero():
+    with pytest.raises(SamplingError):
+        AliasTable(np.zeros(3))
+
+
+def test_rejects_nan():
+    with pytest.raises(SamplingError):
+        AliasTable(np.array([1.0, np.nan]))
+
+
+def test_rejects_2d():
+    with pytest.raises(SamplingError):
+        AliasTable(np.ones((2, 2)))
+
+
+def test_rejects_negative_batch():
+    table = AliasTable(np.ones(3))
+    with pytest.raises(SamplingError):
+        table.draw_batch(make_rng(0), -1)
+
+
+def test_zero_batch_is_empty():
+    table = AliasTable(np.ones(3))
+    assert table.draw_batch(make_rng(0), 0).size == 0
