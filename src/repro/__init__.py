@@ -24,7 +24,7 @@ Quickstart::
 
 __version__ = "0.1.0"
 
-from repro import algorithms, data, graph, nn, ops, sampling, storage, tasks, utils
+from repro import algorithms, data, graph, nn, ops, runtime, sampling, storage, tasks, utils
 from repro.errors import ReproError
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "graph",
     "nn",
     "ops",
+    "runtime",
     "sampling",
     "storage",
     "tasks",

@@ -2,10 +2,11 @@
 
 Commands
 --------
-``dataset``   generate a named synthetic dataset and save it as ``.npz``
-``train``     fit a model on a dataset and save the embeddings
-``evaluate``  link-prediction evaluation of saved embeddings
-``info``      print a dataset's summary statistics
+``dataset``       generate a named synthetic dataset and save it as ``.npz``
+``train``         fit a model on a dataset and save the embeddings
+``evaluate``      link-prediction evaluation of saved embeddings
+``info``          print a dataset's summary statistics
+``runtime-demo``  sampled workload through the RPC runtime with faults on
 
 The CLI covers the adopt-and-script path: generate once, train many models
 against the same artifact, compare evaluations — without writing Python.
@@ -79,6 +80,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hide this edge fraction before training (for later evaluate)",
     )
 
+    p_rt = sub.add_parser(
+        "runtime-demo",
+        help="run a sampled workload through the RPC runtime and print metrics",
+    )
+    p_rt.add_argument("--workers", type=int, default=4)
+    p_rt.add_argument("--scale", type=float, default=0.2)
+    p_rt.add_argument("--steps", type=int, default=5)
+    p_rt.add_argument("--batch-size", type=int, default=64)
+    p_rt.add_argument("--drop-rate", type=float, default=0.1)
+    p_rt.add_argument("--timeout-rate", type=float, default=0.05)
+    p_rt.add_argument("--slow-workers", type=int, default=1,
+                      help="number of 3x-slower servers")
+    p_rt.add_argument("--seed", type=int, default=0)
+
     p_ev = sub.add_parser("evaluate", help="link-prediction metrics of embeddings")
     p_ev.add_argument("embeddings", help=".npz embeddings path (from train)")
     p_ev.add_argument("dataset", help=".npz dataset path")
@@ -132,6 +147,75 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime_demo(args: argparse.Namespace) -> int:
+    from repro.data import make_dataset as _make
+    from repro.runtime import FaultPlan, RpcRuntime
+    from repro.sampling import (
+        DegreeBiasedNegativeSampler,
+        SamplingPipeline,
+        StoreProvider,
+        UniformNeighborSampler,
+        VertexTraverseSampler,
+    )
+    from repro.storage import ImportanceCachePolicy
+    from repro.storage.cluster import make_store
+    from repro.utils.rng import make_rng
+    from repro.utils.tables import format_table
+
+    graph = _make("taobao-small-sim", scale=args.scale, seed=args.seed)
+    store = make_store(
+        graph,
+        args.workers,
+        cache_policy=ImportanceCachePolicy(),
+        cache_budget_fraction=0.1,
+        seed=args.seed,
+    )
+    slow = frozenset(range(1, min(1 + args.slow_workers, args.workers)))
+    runtime = RpcRuntime(
+        store,
+        faults=FaultPlan(
+            drop_rate=args.drop_rate,
+            timeout_rate=args.timeout_rate,
+            slow_parts=slow,
+            slow_factor=3.0,
+            seed=args.seed,
+        ),
+    )
+    store.attach_runtime(runtime)
+    pipeline = SamplingPipeline(
+        traverse=VertexTraverseSampler(graph, vertex_type="user"),
+        neighborhood=UniformNeighborSampler(StoreProvider(store, from_part=0)),
+        negative=DegreeBiasedNegativeSampler(graph),
+        hop_nums=[10, 5],
+        neg_num=5,
+        metrics=runtime.metrics,
+    )
+    rng = make_rng(args.seed)
+    for _ in range(args.steps):
+        pipeline.sample(args.batch_size, rng)
+
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["graph", graph.describe()["n_vertices"]],
+                ["workers", args.workers],
+                ["sampling steps", args.steps],
+                ["seeds per step", args.batch_size],
+                ["virtual clock (ms)", round(runtime.clock.now_us / 1000.0, 3)],
+                ["ledger modelled (ms)", round(store.ledger.modelled_millis(), 3)],
+            ],
+            title="runtime-demo workload",
+        )
+    )
+    print()
+    print(runtime.metrics.render())
+    print()
+    print("cost ledger")
+    print(store.ledger.summary())
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     graph = load_ahg(args.dataset)
     with np.load(args.embeddings) as data:
@@ -160,6 +244,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "info": _cmd_info,
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
+        "runtime-demo": _cmd_runtime_demo,
     }
     try:
         return handlers[args.command](args)

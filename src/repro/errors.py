@@ -44,6 +44,39 @@ class PartitionError(StorageError):
     """A partitioner was misconfigured or produced an invalid assignment."""
 
 
+class ReproRuntimeError(ReproError, RuntimeError):
+    """Problem inside the simulated RPC runtime (repro.runtime).
+
+    Also derives from the builtin :class:`RuntimeError` so generic handlers
+    written against the standard hierarchy keep working.
+    """
+
+
+class RuntimeConfigError(ReproRuntimeError):
+    """A runtime component (fault plan, retry policy, inbox) was misconfigured."""
+
+
+class InboxOverflowError(ReproRuntimeError):
+    """A server's bounded inbox rejected a request (backpressure signal)."""
+
+    def __init__(self, part: int, capacity: int) -> None:
+        super().__init__(
+            f"inbox of server {part} is full (capacity {capacity}); "
+            "the issuer must drain responses before submitting more"
+        )
+        self.part = part
+        self.capacity = capacity
+
+
+class RetryExhaustedError(ReproRuntimeError):
+    """A request kept failing past the retry budget and no failover replica
+    could serve it."""
+
+    def __init__(self, detail: str, attempts: int) -> None:
+        super().__init__(f"{detail} (after {attempts} attempts)")
+        self.attempts = attempts
+
+
 class SamplingError(ReproError):
     """A sampler was misconfigured or asked for an impossible sample."""
 

@@ -1,0 +1,60 @@
+"""Simulated RPC runtime: the transport under the distributed graph store.
+
+Production GNN platforms (the paper's §3.2 storage layer, DistDGL, GLISP)
+treat cross-server traffic as a first-class subsystem: requests are batched
+per destination, failures are expected and retried, and everything is
+observable. This package brings those three concerns to the cluster
+simulation:
+
+* :mod:`repro.runtime.rpc` — request/response envelopes, bounded per-server
+  inboxes and a deterministic virtual-clock scheduler;
+* :mod:`repro.runtime.batching` — per-destination coalescing of neighbor and
+  attribute reads (one ``remote_rpc`` charge per batch, duplicates deduped);
+* :mod:`repro.runtime.faults` — seeded drop/timeout/slow-server injection
+  plus a capped-exponential-backoff retry policy;
+* :mod:`repro.runtime.metrics` — counters, gauges, latency histograms and
+  span timers behind one registry.
+
+:class:`~repro.storage.cluster.DistributedGraphStore` routes its batch read
+entry points (``get_neighbors_batch`` / ``get_attrs_batch``) through an
+:class:`RpcRuntime`; the samplers reach it via per-hop prefetching.
+"""
+
+from repro.runtime.batching import Batch, RequestBatcher
+from repro.runtime.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanTimer,
+)
+from repro.runtime.rpc import (
+    KIND_ATTRS,
+    KIND_NEIGHBORS,
+    Inbox,
+    Request,
+    Response,
+    RpcRuntime,
+    VirtualClock,
+)
+
+__all__ = [
+    "Batch",
+    "RequestBatcher",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanTimer",
+    "Inbox",
+    "Request",
+    "Response",
+    "RpcRuntime",
+    "VirtualClock",
+    "KIND_NEIGHBORS",
+    "KIND_ATTRS",
+]

@@ -1,0 +1,177 @@
+"""Metrics registry for the simulated RPC runtime.
+
+Production graph platforms expose their serving behaviour through counters
+(requests, retries, drops), gauges (queue depths) and latency histograms;
+this module provides the same three primitives plus span-style timers, all
+behind a single :class:`MetricsRegistry` that the runtime, the distributed
+store and the sampling pipeline share.
+
+Everything is plain Python and deterministic: histograms keep their raw
+observations (the simulation's scales are small), so percentiles are exact
+and two runs with the same seed produce bit-identical summaries.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value with a tracked maximum (high-water mark)."""
+
+    name: str
+    value: float = 0.0
+    high_water: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current value, updating the high-water mark."""
+        self.value = float(value)
+        self.high_water = max(self.high_water, self.value)
+
+
+@dataclass
+class Histogram:
+    """Exact distribution of observed values (latencies, batch sizes)."""
+
+    name: str
+    samples: list = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / self.count if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100] (0.0 when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+
+class SpanTimer:
+    """Context manager that times a span and observes it into a histogram.
+
+    With a virtual ``clock`` (anything exposing ``now_us``) the span measures
+    simulated microseconds; without one it measures wall-clock microseconds.
+    """
+
+    def __init__(self, histogram: Histogram, clock: "object | None" = None) -> None:
+        self._histogram = histogram
+        self._clock = clock
+        self._start = 0.0
+
+    def _now_us(self) -> float:
+        if self._clock is not None:
+            return float(self._clock.now_us)
+        return time.perf_counter() * 1e6
+
+    def __enter__(self) -> "SpanTimer":
+        self._start = self._now_us()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._histogram.observe(self._now_us() - self._start)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def timer(self, name: str, clock: "object | None" = None) -> SpanTimer:
+        """A span timer feeding the histogram named ``name``."""
+        return SpanTimer(self.histogram(name), clock=clock)
+
+    def reset(self) -> None:
+        """Drop every metric (names are forgotten, not just zeroed)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def summary_rows(self) -> "list[list]":
+        """Rows of ``[name, type, count/value, mean, p50, p95]``, sorted."""
+        rows: list[list] = []
+        for name in sorted(self._counters):
+            rows.append([name, "counter", self._counters[name].value, "", "", ""])
+        for name in sorted(self._gauges):
+            g = self._gauges[name]
+            rows.append([name, "gauge", g.value, "", "", f"hw={g.high_water:.4g}"])
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            rows.append(
+                [
+                    name,
+                    "histogram",
+                    h.count,
+                    round(h.mean, 3),
+                    round(h.percentile(50), 3),
+                    round(h.percentile(95), 3),
+                ]
+            )
+        return rows
+
+    def render(self, title: str = "runtime metrics") -> str:
+        """Aligned plain-text summary table of every registered metric."""
+        return format_table(
+            ["metric", "type", "count/value", "mean", "p50", "p95"],
+            self.summary_rows(),
+            title=title,
+        )

@@ -1,0 +1,308 @@
+"""The simulated RPC layer: envelopes, inboxes and a virtual-clock scheduler.
+
+Cross-server reads in the cluster simulation used to be synchronous function
+calls. This module gives them the shape of real traffic:
+
+* every read crosses the wire as an explicit :class:`Request` and comes back
+  as a :class:`Response`;
+* each server has a bounded :class:`Inbox`; submitting past its capacity
+  raises :class:`~repro.errors.InboxOverflowError` (backpressure is a real
+  production failure mode, not an afterthought);
+* a deterministic event loop orders deliveries on a :class:`VirtualClock`
+  (simulated microseconds) — requests to different servers overlap, retries
+  are rescheduled after a timeout plus capped exponential backoff, and two
+  runs with the same seed replay identically.
+
+Latency is *modelled*, not measured: a successful delivery costs the cost
+model's ``remote_rpc_us`` plus per-item shipping, scaled by the destination's
+slow-server factor. The cost ledger (Figures 8–9 semantics) is charged by the
+store per successful batch; this layer's metrics cover everything else —
+attempts, drops, timeouts, retries, queue depths and latency percentiles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import InboxOverflowError, RuntimeConfigError
+from repro.runtime.faults import (
+    OUTCOME_OK,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.storage.cluster import DistributedGraphStore
+
+#: Request kinds understood by the runtime.
+KIND_NEIGHBORS = "neighbors"
+KIND_ATTRS = "attrs"
+_KINDS = frozenset({KIND_NEIGHBORS, KIND_ATTRS})
+
+
+@dataclass(frozen=True)
+class Request:
+    """One cross-server read envelope (a deduplicated vertex batch)."""
+
+    req_id: int
+    kind: str
+    src_part: int
+    dst_part: int
+    vertices: "tuple[int, ...]"
+    attempt: int = 1
+
+
+@dataclass
+class Response:
+    """The answer to a :class:`Request` (or its typed failure)."""
+
+    req_id: int
+    ok: bool
+    payload: "dict[int, np.ndarray]" = field(default_factory=dict)
+    meta: "dict[int, bool]" = field(default_factory=dict)
+    latency_us: float = 0.0
+    attempts: int = 1
+    error: "str | None" = None
+
+
+class VirtualClock:
+    """Monotone simulated time in microseconds."""
+
+    def __init__(self) -> None:
+        self._now_us = 0.0
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time."""
+        return self._now_us
+
+    def advance(self, us: float) -> None:
+        """Move time forward by ``us`` microseconds."""
+        if us < 0:
+            raise RuntimeConfigError(f"cannot advance the clock by {us}us")
+        self._now_us += us
+
+    def advance_to(self, t_us: float) -> None:
+        """Move time forward to ``t_us`` (no-op if already past it)."""
+        self._now_us = max(self._now_us, t_us)
+
+
+class Inbox:
+    """Bounded FIFO request queue of one server."""
+
+    def __init__(self, capacity: int, part: int) -> None:
+        if capacity < 1:
+            raise RuntimeConfigError(f"inbox capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.part = part
+        self._queue: "deque[int]" = deque()
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, req_id: int) -> None:
+        """Enqueue a request id; raises when the inbox is full."""
+        if len(self._queue) >= self.capacity:
+            raise InboxOverflowError(self.part, self.capacity)
+        self._queue.append(req_id)
+        self.high_water = max(self.high_water, len(self._queue))
+
+    def pop(self, req_id: int) -> None:
+        """Dequeue ``req_id`` (FIFO when it is at the head, by id otherwise —
+        retries re-enter the queue out of arrival order)."""
+        try:
+            if self._queue and self._queue[0] == req_id:
+                self._queue.popleft()
+            else:
+                self._queue.remove(req_id)
+        except ValueError:
+            raise RuntimeConfigError(
+                f"request {req_id} is not queued on server {self.part}"
+            ) from None
+
+
+class RpcRuntime:
+    """Mediates every cross-server read of a :class:`DistributedGraphStore`.
+
+    The runtime owns the virtual clock, one bounded inbox per server, the
+    fault injector, the retry policy and the metrics registry. The store's
+    batch entry points build deduplicated :class:`Request` batches (see
+    :mod:`repro.runtime.batching`) and hand them to :meth:`execute`.
+    """
+
+    def __init__(
+        self,
+        store: "DistributedGraphStore",
+        faults: "FaultPlan | FaultInjector | None" = None,
+        retry: "RetryPolicy | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        inbox_capacity: int = 1024,
+        timeout_us: float = 500.0,
+        max_batch_size: int = 0,
+    ) -> None:
+        if timeout_us < 0:
+            raise RuntimeConfigError(f"timeout_us must be >= 0, got {timeout_us}")
+        if max_batch_size < 0:
+            raise RuntimeConfigError(
+                f"max_batch_size must be >= 0 (0 = unbounded), got {max_batch_size}"
+            )
+        self.store = store
+        self.clock = VirtualClock()
+        self.metrics = metrics or MetricsRegistry()
+        self.retry = retry or RetryPolicy()
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.faults: "FaultInjector | None" = faults
+        self.timeout_us = timeout_us
+        self.max_batch_size = max_batch_size
+        self.inboxes = [
+            Inbox(inbox_capacity, part=p) for p in range(len(store.servers))
+        ]
+        self._next_req_id = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Request construction
+    # ------------------------------------------------------------------ #
+    def make_request(
+        self, kind: str, src_part: int, dst_part: int, vertices: "tuple[int, ...]"
+    ) -> Request:
+        """Mint a request envelope with a fresh id."""
+        if kind not in _KINDS:
+            raise RuntimeConfigError(f"unknown request kind {kind!r}")
+        if not vertices:
+            raise RuntimeConfigError("a request must carry at least one vertex")
+        req = Request(
+            req_id=self._next_req_id,
+            kind=kind,
+            src_part=src_part,
+            dst_part=dst_part,
+            vertices=tuple(int(v) for v in vertices),
+        )
+        self._next_req_id += 1
+        return req
+
+    # ------------------------------------------------------------------ #
+    # The deterministic event loop
+    # ------------------------------------------------------------------ #
+    def _schedule(
+        self,
+        heap: "list[tuple[float, int, Request]]",
+        req: Request,
+        ready_us: float,
+    ) -> None:
+        self.inboxes[req.dst_part].push(req.req_id)
+        self._seq += 1
+        heapq.heappush(heap, (ready_us, self._seq, req))
+        depth_gauge = self.metrics.gauge(f"inbox.depth.part{req.dst_part}")
+        depth_gauge.set(len(self.inboxes[req.dst_part]))
+
+    def _serve(self, req: Request) -> "tuple[dict[int, np.ndarray], dict[int, bool], int]":
+        """Execute ``req`` on its destination shard.
+
+        Returns ``(payload, meta, n_items)``; for attribute reads ``meta``
+        maps each vertex to whether its row was already in the IV cache
+        (the store charges decode vs cache-hit events from it).
+        """
+        server = self.store.servers[req.dst_part]
+        payload: "dict[int, np.ndarray]" = {}
+        meta: "dict[int, bool]" = {}
+        n_items = 0
+        if req.kind == KIND_NEIGHBORS:
+            for v in req.vertices:
+                row = server.local_neighbors(v)
+                payload[v] = row
+                n_items += int(row.size)
+        else:
+            for v in req.vertices:
+                meta[v] = v in server.attrs.iv_cache
+                row = server.local_vertex_attr(v)
+                payload[v] = row
+                n_items += int(row.size)
+        return payload, meta, n_items
+
+    def execute(self, requests: "list[Request]") -> "list[Response]":
+        """Run ``requests`` to completion; responses align with the input.
+
+        Deliveries are ordered by ``(ready time, submission sequence)`` on
+        the virtual clock. Drops and timeouts consume an attempt and are
+        rescheduled after ``timeout_us`` plus the retry policy's backoff;
+        a request that exhausts its attempt budget yields a failed
+        :class:`Response` (the store decides between failover and raising).
+        """
+        if not requests:
+            return []
+        heap: "list[tuple[float, int, Request]]" = []
+        submit_us: "dict[int, float]" = {}
+        responses: "dict[int, Response]" = {}
+        cost = self.store.cost_model
+        for req in requests:
+            submit_us[req.req_id] = self.clock.now_us
+            self._schedule(heap, req, self.clock.now_us)
+            self.metrics.counter("rpc.requests").inc()
+            self.metrics.histogram("rpc.batch_size").observe(len(req.vertices))
+
+        while heap:
+            ready_us, _, req = heapq.heappop(heap)
+            self.clock.advance_to(ready_us)
+            self.inboxes[req.dst_part].pop(req.req_id)
+            self.metrics.counter("rpc.attempts").inc()
+            outcome = self.faults.roll() if self.faults is not None else OUTCOME_OK
+            if outcome != OUTCOME_OK:
+                self.metrics.counter(f"rpc.{outcome}s").inc()
+                if req.attempt >= self.retry.max_attempts:
+                    responses[req.req_id] = Response(
+                        req_id=req.req_id,
+                        ok=False,
+                        latency_us=ready_us + self.timeout_us - submit_us[req.req_id],
+                        attempts=req.attempt,
+                        error=(
+                            f"{req.kind} request to server {req.dst_part} "
+                            f"{outcome}ped past the retry budget"
+                            if outcome == "drop"
+                            else f"{req.kind} request to server {req.dst_part} "
+                            f"timed out past the retry budget"
+                        ),
+                    )
+                    continue
+                self.metrics.counter("rpc.retries").inc()
+                backoff = self.retry.backoff_us(req.attempt)
+                self._schedule(
+                    heap,
+                    replace(req, attempt=req.attempt + 1),
+                    ready_us + self.timeout_us + backoff,
+                )
+                continue
+            payload, meta, n_items = self._serve(req)
+            factor = (
+                self.faults.service_factor(req.dst_part)
+                if self.faults is not None
+                else 1.0
+            )
+            service_us = (
+                cost.remote_rpc_us + cost.item_shipped_us * n_items
+            ) * factor
+            done_us = ready_us + service_us
+            self.clock.advance_to(done_us)
+            latency = done_us - submit_us[req.req_id]
+            responses[req.req_id] = Response(
+                req_id=req.req_id,
+                ok=True,
+                payload=payload,
+                meta=meta,
+                latency_us=latency,
+                attempts=req.attempt,
+            )
+            self.metrics.counter("rpc.completed").inc()
+            self.metrics.counter(f"server.part{req.dst_part}.served").inc()
+            self.metrics.histogram("rpc.latency_us").observe(latency)
+
+        return [responses[req.req_id] for req in requests]

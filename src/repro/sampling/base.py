@@ -56,6 +56,14 @@ class NeighborProvider:
         """Out-neighbor ids of ``vertex``."""
         raise NotImplementedError
 
+    def prefetch(self, vertices: np.ndarray) -> None:
+        """Hint that ``vertices`` are about to be read.
+
+        Samplers call this once per hop with the whole frontier; providers
+        backed by the distributed store use it to coalesce the hop's remote
+        reads into batched RPCs. The in-memory provider ignores it.
+        """
+
     def weights(self, vertex: int) -> np.ndarray:
         """Edge weights aligned with :meth:`neighbors`."""
         raise NotImplementedError
@@ -90,14 +98,32 @@ class StoreProvider(NeighborProvider):
     cache, or remote RPC. ``from_part`` identifies the issuing worker.
     Weights for remote vertices are uniform — shipping weight vectors is a
     cost the paper's samplers avoid by using cached/dynamic local weights.
+
+    With ``batched=True`` (the default), :meth:`prefetch` resolves a whole
+    frontier through ``store.get_neighbors_batch`` — one deduplicated RPC
+    per destination server via the runtime — and :meth:`neighbors` serves
+    from the prefetched rows; vertices read outside a prefetch fall back to
+    the per-vertex path, so results are identical either way.
     """
 
-    def __init__(self, store: "object", from_part: int) -> None:
+    def __init__(self, store: "object", from_part: int, batched: bool = True) -> None:
         # Typed loosely to avoid a circular import with repro.storage.
         self.store = store
         self.from_part = from_part
+        self.batched = batched
+        self._prefetched: "dict[int, np.ndarray]" = {}
+
+    def prefetch(self, vertices: np.ndarray) -> None:
+        if not self.batched:
+            return
+        self._prefetched = self.store.get_neighbors_batch(
+            vertices, from_part=self.from_part
+        )
 
     def neighbors(self, vertex: int) -> np.ndarray:
+        row = self._prefetched.get(int(vertex))
+        if row is not None:
+            return row
         return self.store.neighbors(vertex, from_part=self.from_part)
 
     def weights(self, vertex: int) -> np.ndarray:

@@ -97,6 +97,10 @@ class _ExpandingSampler(Sampler):
         pad_masks: list[np.ndarray] = []
         for fanout in hop_nums:
             prev = layers[-1]
+            # One batched (deduplicated) read of the whole frontier before
+            # the per-vertex draws — the distributed provider coalesces
+            # this hop's remote traffic into one RPC per owning server.
+            self.provider.prefetch(np.unique(prev))
             out = np.empty(prev.size * fanout, dtype=np.int64)
             pad = np.zeros(prev.size * fanout, dtype=bool)
             for i, v in enumerate(prev):

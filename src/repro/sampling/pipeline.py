@@ -15,6 +15,7 @@ the stitched result comes back in batch order.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,7 +39,13 @@ class TrainingBatch:
 
 
 class SamplingPipeline:
-    """Composes the three sampler families into one stage."""
+    """Composes the three sampler families into one stage.
+
+    When a :class:`~repro.runtime.metrics.MetricsRegistry` is supplied, each
+    stage runs inside a span timer (``pipeline.traverse_us`` /
+    ``pipeline.neighborhood_us`` / ``pipeline.negative_us``) and the
+    ``pipeline.batches`` counter tracks produced batches.
+    """
 
     def __init__(
         self,
@@ -47,6 +54,7 @@ class SamplingPipeline:
         negative: Sampler,
         hop_nums: "list[int]",
         neg_num: int,
+        metrics: "object | None" = None,
     ) -> None:
         check_batch_size(neg_num)
         self.traverse = traverse
@@ -54,12 +62,23 @@ class SamplingPipeline:
         self.negative = negative
         self.hop_nums = list(hop_nums)
         self.neg_num = neg_num
+        self.metrics = metrics
+
+    def _span(self, name: str):
+        if self.metrics is None:
+            return nullcontext()
+        return self.metrics.timer(name)
 
     def sample(self, batch_size: int, rng: np.random.Generator) -> TrainingBatch:
         """Produce one :class:`TrainingBatch` of ``batch_size`` seeds."""
-        vertices = self.traverse.sample(batch_size, rng)
-        if isinstance(vertices, tuple):  # edge traverse: use source endpoints
-            vertices = vertices[0]
-        context = self.neighborhood.sample(vertices, self.hop_nums, rng)
-        negatives = self.negative.sample(vertices, self.neg_num, rng)
+        with self._span("pipeline.traverse_us"):
+            vertices = self.traverse.sample(batch_size, rng)
+            if isinstance(vertices, tuple):  # edge traverse: use source endpoints
+                vertices = vertices[0]
+        with self._span("pipeline.neighborhood_us"):
+            context = self.neighborhood.sample(vertices, self.hop_nums, rng)
+        with self._span("pipeline.negative_us"):
+            negatives = self.negative.sample(vertices, self.neg_num, rng)
+        if self.metrics is not None:
+            self.metrics.counter("pipeline.batches").inc()
         return TrainingBatch(vertices=vertices, context=context, negatives=negatives)

@@ -13,6 +13,13 @@ charges exactly one of three paths:
 These counters are the entire substance of Figures 8–9 and Table 4, so the
 experiments measure them exactly and convert to time through the cost model.
 
+Cross-server traffic is mediated by the simulated RPC runtime
+(:mod:`repro.runtime`): the batch entry points ``get_neighbors_batch`` /
+``get_attrs_batch`` coalesce a batch's remote misses into one deduplicated
+request per owning server — charging one ``remote_rpc`` per batch instead of
+one per vertex — with seeded fault injection, capped-backoff retries and
+cache-replica failover handled by the attached :class:`RpcRuntime`.
+
 :func:`build_distributed` reproduces the Figure 7 pipeline: edges are
 streamed to workers by the partition's ASSIGN function and each worker builds
 its shard; with ``p`` workers the (simulated) build time is the *critical
@@ -27,7 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import RetryExhaustedError, StorageError
 from repro.graph.builder import GraphBuilder
 from repro.graph.graph import Graph
 from repro.storage.cache import CachePolicy, ImportanceCachePolicy, make_cache
@@ -44,6 +51,8 @@ from repro.storage.costmodel import (
     EV_REMOTE_RPC,
     CostModel,
 )
+from repro.runtime.batching import RequestBatcher
+from repro.runtime.rpc import KIND_ATTRS, KIND_NEIGHBORS, RpcRuntime
 from repro.storage.partition.base import PartitionAssignment, Partitioner
 from repro.storage.partition.hashcut import EdgeCutPartitioner
 from repro.storage.server import GraphServer
@@ -93,6 +102,8 @@ class DistributedGraphStore:
             else 0
         )
         self._failed: set[int] = set()
+        self.runtime: "RpcRuntime | None" = None
+        self._batcher = RequestBatcher()
 
     # ------------------------------------------------------------------ #
     # Cache installation
@@ -206,6 +217,148 @@ class DistributedGraphStore:
         value = server.local_vertex_attr(vertex)
         self.ledger.record(EV_ATTR_CACHE_HIT if was_cached else EV_ATTR_DECODE)
         return value
+
+    # ------------------------------------------------------------------ #
+    # Batched reads through the RPC runtime
+    # ------------------------------------------------------------------ #
+    def attach_runtime(self, runtime: RpcRuntime) -> None:
+        """Install the RPC runtime mediating this store's batched reads."""
+        if runtime.store is not self:
+            raise StorageError("runtime was constructed for a different store")
+        self.runtime = runtime
+        self._batcher.max_batch_size = runtime.max_batch_size
+
+    def _ensure_runtime(self) -> RpcRuntime:
+        """The attached runtime, creating a fault-free default on first use."""
+        if self.runtime is None:
+            self.attach_runtime(RpcRuntime(self))
+        return self.runtime
+
+    def get_neighbors_batch(
+        self, vertices: "np.ndarray | list[int]", from_part: int
+    ) -> "dict[int, np.ndarray]":
+        """Out-neighbors of a vertex batch as seen by worker ``from_part``.
+
+        Routing per vertex is identical to :meth:`neighbors` (local shard,
+        issuer cache, failover), but all remote misses coalesce into one
+        deduplicated request per owning server through the runtime: the
+        ledger charges one ``remote_rpc`` per batch plus per-item shipping.
+        A batch whose retries are exhausted falls back to a per-vertex
+        failover read and raises :class:`~repro.errors.RetryExhaustedError`
+        when no replica holds the vertex.
+        """
+        if not 0 <= from_part < self.n_workers:
+            raise StorageError(f"unknown worker {from_part}")
+        if from_part in self._failed:
+            raise StorageError(f"issuing worker {from_part} is down")
+        runtime = self._ensure_runtime()
+        issuer = self.servers[from_part]
+        results: "dict[int, np.ndarray]" = {}
+        remote_reads: "list[tuple[int, int]]" = []
+        seen: set[int] = set()
+        for v in vertices:
+            v = int(v)
+            if v in seen:
+                continue
+            seen.add(v)
+            owner = self.owner(v)
+            if owner == from_part:
+                self.ledger.record(EV_LOCAL_READ)
+                results[v] = self.servers[owner].local_neighbors(v)
+                continue
+            cached = issuer.neighbor_cache.get(v)
+            if cached is not None:
+                self.ledger.record(EV_CACHE_HIT)
+                results[v] = cached
+                continue
+            if owner in self._failed:
+                results[v] = self._failover_lookup(v, from_part)
+                continue
+            remote_reads.append((v, owner))
+
+        if not remote_reads:
+            return results
+        demand_fill = self.cache_policy is not None and self.cache_policy.demand_filled
+        batches = self._batcher.plan(KIND_NEIGHBORS, remote_reads)
+        requests = [
+            runtime.make_request(b.kind, from_part, b.dst_part, b.vertices)
+            for b in batches
+        ]
+        for req, resp in zip(requests, runtime.execute(requests)):
+            if resp.ok:
+                self.ledger.record(EV_REMOTE_RPC)
+                shipped = sum(int(row.size) for row in resp.payload.values())
+                self.ledger.record(EV_ITEM_SHIPPED, times=shipped)
+                for v, row in resp.payload.items():
+                    results[v] = row
+                    if demand_fill:
+                        issuer.neighbor_cache.admit(v, row)
+                        self.ledger.record(EV_CACHE_FILL)
+            else:
+                for v in req.vertices:
+                    try:
+                        results[v] = self._failover_lookup(v, from_part)
+                    except StorageError as exc:
+                        raise RetryExhaustedError(
+                            f"neighbors of vertex {v}: {resp.error}, "
+                            "and no healthy replica holds it",
+                            resp.attempts,
+                        ) from exc
+        return results
+
+    def get_attrs_batch(
+        self, vertices: "np.ndarray | list[int]", from_part: int
+    ) -> "dict[int, np.ndarray]":
+        """Attribute rows of a vertex batch as seen by worker ``from_part``.
+
+        Remote rows coalesce into one request per owning server; the ledger
+        charges one ``remote_rpc`` per batch and the per-vertex decode /
+        IV-cache-hit events exactly as :meth:`vertex_attr` does.
+        """
+        if not 0 <= from_part < self.n_workers:
+            raise StorageError(f"unknown worker {from_part}")
+        runtime = self._ensure_runtime()
+        results: "dict[int, np.ndarray]" = {}
+        remote_reads: "list[tuple[int, int]]" = []
+        seen: set[int] = set()
+        for v in vertices:
+            v = int(v)
+            if v in seen:
+                continue
+            seen.add(v)
+            owner = self.owner(v)
+            server = self.servers[owner]
+            if not server.attrs.has_vertex_attr(v):
+                raise StorageError(f"vertex {v} has no attributes stored")
+            if owner == from_part:
+                was_cached = v in server.attrs.iv_cache
+                results[v] = server.local_vertex_attr(v)
+                self.ledger.record(
+                    EV_ATTR_CACHE_HIT if was_cached else EV_ATTR_DECODE
+                )
+            else:
+                remote_reads.append((v, owner))
+
+        if not remote_reads:
+            return results
+        batches = self._batcher.plan(KIND_ATTRS, remote_reads)
+        requests = [
+            runtime.make_request(b.kind, from_part, b.dst_part, b.vertices)
+            for b in batches
+        ]
+        for req, resp in zip(requests, runtime.execute(requests)):
+            if not resp.ok:
+                raise RetryExhaustedError(
+                    f"attribute batch for server {req.dst_part}: {resp.error}",
+                    resp.attempts,
+                )
+            self.ledger.record(EV_REMOTE_RPC)
+            for v, row in resp.payload.items():
+                results[v] = row
+                self.ledger.record(
+                    EV_ATTR_CACHE_HIT if resp.meta.get(v) else EV_ATTR_DECODE
+                )
+        return results
 
     # ------------------------------------------------------------------ #
     # Streaming updates (the "frequent edge updates" regime of §3.2)

@@ -98,3 +98,18 @@ def test_node_classification_validations():
         evaluate_node_classification(
             np.zeros((4, 2)), np.array([0, 1, 0, 1]), train_fraction=1.5
         )
+
+
+def test_runtime_demo_prints_metrics_and_ledger(capsys):
+    code = main(
+        ["runtime-demo", "--scale", "0.1", "--steps", "2", "--workers", "3",
+         "--drop-rate", "0.1", "--seed", "0"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "runtime-demo workload" in out
+    assert "runtime metrics" in out
+    assert "rpc.completed" in out
+    assert "pipeline.neighborhood_us" in out
+    assert "cost ledger" in out
+    assert "remote_rpc" in out and "TOTAL" in out

@@ -1,0 +1,191 @@
+"""Metrics registry primitives and their wiring through store + pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.runtime import MetricsRegistry, RpcRuntime, VirtualClock
+from repro.sampling import (
+    DegreeBiasedNegativeSampler,
+    SamplingPipeline,
+    StoreProvider,
+    UniformNeighborSampler,
+    VertexTraverseSampler,
+)
+from repro.storage.cluster import make_store
+from repro.storage.costmodel import EV_REMOTE_RPC, CostModel
+from repro.utils.rng import make_rng
+from repro.utils.timer import CostAccumulator
+
+
+# --------------------------------------------------------------------- #
+# Primitives
+# --------------------------------------------------------------------- #
+def test_counter_increments_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("reqs")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert reg.counter("reqs") is c  # get-or-create returns the same object
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_high_water():
+    g = MetricsRegistry().gauge("depth")
+    g.set(3)
+    g.set(1)
+    assert g.value == 1.0
+    assert g.high_water == 3.0
+
+
+def test_histogram_percentiles_are_exact_nearest_rank():
+    h = MetricsRegistry().histogram("lat")
+    for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]:
+        h.observe(v)
+    assert h.count == 10
+    assert h.mean == 55.0
+    assert h.percentile(50) == 50
+    assert h.percentile(95) == 100
+    assert h.percentile(0) == 10
+    assert h.percentile(100) == 100
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_empty_histogram_is_safe():
+    h = MetricsRegistry().histogram("lat")
+    assert h.mean == 0.0
+    assert h.percentile(50) == 0.0
+
+
+def test_span_timer_with_virtual_clock():
+    reg = MetricsRegistry()
+    clock = VirtualClock()
+    with reg.timer("span_us", clock=clock):
+        clock.advance(250.0)
+    assert reg.histogram("span_us").samples == [250.0]
+
+
+def test_span_timer_wall_clock():
+    reg = MetricsRegistry()
+    with reg.timer("span_us"):
+        pass
+    assert reg.histogram("span_us").count == 1
+    assert reg.histogram("span_us").samples[0] >= 0.0
+
+
+def test_registry_render_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(2)
+    reg.gauge("b").set(7)
+    reg.histogram("c").observe(1.0)
+    table = reg.render(title="demo metrics")
+    assert "demo metrics" in table
+    for name, kind in (("a", "counter"), ("b", "gauge"), ("c", "histogram")):
+        assert name in table and kind in table
+    reg.reset()
+    assert reg.summary_rows() == []
+
+
+# --------------------------------------------------------------------- #
+# Wiring through the store, runtime and pipeline
+# --------------------------------------------------------------------- #
+def test_runtime_metrics_agree_with_cost_ledger():
+    graph = make_dataset("taobao-small-sim", scale=0.1, seed=0)
+    store = make_store(graph, 4, seed=0)
+    store.attach_runtime(RpcRuntime(store))
+    store.get_neighbors_batch(np.arange(100), from_part=0)
+    metrics = store.runtime.metrics
+    # Fault-free: every request completes on the first attempt and the
+    # ledger charges exactly one remote_rpc per completed request.
+    completed = metrics.counter("rpc.completed").value
+    assert completed == store.ledger.count(EV_REMOTE_RPC) > 0
+    assert metrics.counter("rpc.attempts").value == completed
+    assert metrics.counter("rpc.retries").value == 0
+    assert metrics.histogram("rpc.batch_size").count == completed
+    served = sum(
+        metrics.counter(f"server.part{p}.served").value for p in range(4)
+    )
+    assert served == completed
+    # Modelled latency floors at one RPC round trip.
+    assert metrics.histogram("rpc.latency_us").percentile(50) >= (
+        CostModel().remote_rpc_us
+    )
+
+
+def test_pipeline_spans_and_counters():
+    graph = make_dataset("taobao-small-sim", scale=0.1, seed=0)
+    store = make_store(graph, 2, seed=0)
+    runtime = RpcRuntime(store)
+    store.attach_runtime(runtime)
+    pipeline = SamplingPipeline(
+        traverse=VertexTraverseSampler(graph, vertex_type="user"),
+        neighborhood=UniformNeighborSampler(StoreProvider(store, from_part=0)),
+        negative=DegreeBiasedNegativeSampler(graph),
+        hop_nums=[4, 4],
+        neg_num=5,
+        metrics=runtime.metrics,
+    )
+    rng = make_rng(0)
+    for _ in range(3):
+        pipeline.sample(16, rng)
+    metrics = runtime.metrics
+    assert metrics.counter("pipeline.batches").value == 3
+    for span in (
+        "pipeline.traverse_us",
+        "pipeline.neighborhood_us",
+        "pipeline.negative_us",
+    ):
+        assert metrics.histogram(span).count == 3
+    # The neighborhood stage reads through the runtime: RPC metrics landed
+    # in the same registry.
+    assert metrics.counter("rpc.completed").value > 0
+
+
+def test_pipeline_without_metrics_still_works():
+    graph = make_dataset("taobao-small-sim", scale=0.1, seed=0)
+    store = make_store(graph, 2, seed=0)
+    pipeline = SamplingPipeline(
+        traverse=VertexTraverseSampler(graph, vertex_type="user"),
+        neighborhood=UniformNeighborSampler(StoreProvider(store, from_part=0)),
+        negative=DegreeBiasedNegativeSampler(graph),
+        hop_nums=[4, 4],
+        neg_num=5,
+    )
+    batch = pipeline.sample(16, make_rng(0))
+    assert batch.batch_size == 16
+
+
+# --------------------------------------------------------------------- #
+# CostAccumulator: merge + summary (per-server ledgers -> cluster view)
+# --------------------------------------------------------------------- #
+def test_cost_accumulator_merge_combines_counts_and_prices():
+    a = CostAccumulator(costs={"remote_rpc": 100.0})
+    b = CostAccumulator(costs={"local_read": 1.0})
+    a.record("remote_rpc", times=3)
+    b.record("local_read", times=10)
+    b.record("remote_rpc", times=2)
+    merged = a.merge(b)
+    assert merged is a
+    assert a.count("remote_rpc") == 5
+    assert a.count("local_read") == 10
+    # Prices unknown to `a` are adopted from `b`.
+    assert a.modelled_micros() == 5 * 100.0 + 10 * 1.0
+
+
+def test_cost_accumulator_summary_and_repr():
+    acc = CostAccumulator(costs={"remote_rpc": 100.0, "local_read": 1.0})
+    acc.record("remote_rpc", times=2)
+    acc.record("local_read", times=5)
+    text = acc.summary()
+    lines = text.splitlines()
+    assert "event" in lines[0] and "total_ms" in lines[0]
+    # Heaviest contributor first, TOTAL last.
+    assert lines[1].split()[0] == "remote_rpc"
+    assert lines[-1].split()[0] == "TOTAL"
+    assert "0.205" in lines[-1]
+    rep = repr(acc)
+    assert "local_read:5" in rep and "remote_rpc:2" in rep and "ms" in rep
+    assert repr(CostAccumulator()).startswith("CostAccumulator(empty")
