@@ -24,7 +24,6 @@ from repro.algorithms import TNE, DANE, EvolvingGNN, GraphSAGE
 from repro.bench import ExperimentReport
 from repro.data import dynamic_taobao
 from repro.graph.dynamic import DynamicGraph
-from repro.tasks import evaluate_edge_classification
 from repro.utils.rng import make_rng
 
 from _common import emit

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.bench import ExperimentReport

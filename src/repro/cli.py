@@ -7,6 +7,7 @@ Commands
 ``evaluate``      link-prediction evaluation of saved embeddings
 ``info``          print a dataset's summary statistics
 ``runtime-demo``  sampled workload through the RPC runtime with faults on
+``fault-matrix``  availability sweep {drop rate x failed workers x cache}
 
 The CLI covers the adopt-and-script path: generate once, train many models
 against the same artifact, compare evaluations — without writing Python.
@@ -93,6 +94,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p_rt.add_argument("--slow-workers", type=int, default=1,
                       help="number of 3x-slower servers")
     p_rt.add_argument("--seed", type=int, default=0)
+
+    p_fm = sub.add_parser(
+        "fault-matrix",
+        help="sweep read availability over {drop rate x failed workers x cache}",
+    )
+    p_fm.add_argument("--workers", type=int, default=4)
+    p_fm.add_argument("--scale", type=float, default=0.2)
+    p_fm.add_argument(
+        "--drop-rates", type=float, nargs="+", default=[0.0, 0.2],
+        metavar="RATE",
+    )
+    p_fm.add_argument(
+        "--failed-workers", type=int, nargs="+", default=[0, 1],
+        metavar="N", help="numbers of fail-stopped workers to sweep",
+    )
+    p_fm.add_argument(
+        "--policies", nargs="+", default=["none", "lru", "importance"],
+        metavar="POLICY", help="cache policies to sweep (none/lru/importance)",
+    )
+    p_fm.add_argument("--cache-fraction", type=float, default=0.25)
+    p_fm.add_argument("--batches", type=int, default=2)
+    p_fm.add_argument("--batch-size", type=int, default=64)
+    p_fm.add_argument("--seed", type=int, default=7)
 
     p_ev = sub.add_parser("evaluate", help="link-prediction metrics of embeddings")
     p_ev.add_argument("embeddings", help=".npz embeddings path (from train)")
@@ -216,6 +240,54 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fault_matrix(args: argparse.Namespace) -> int:
+    from repro.bench.fault_matrix import run_fault_matrix
+    from repro.data import make_dataset as _make
+    from repro.utils.tables import format_table
+
+    graph = _make("taobao-small-sim", scale=args.scale, seed=0)
+    try:
+        rows = run_fault_matrix(
+            graph,
+            drop_rates=tuple(args.drop_rates),
+            failed_workers=tuple(args.failed_workers),
+            policies=tuple(args.policies),
+            n_workers=args.workers,
+            cache_fraction=args.cache_fraction,
+            n_batches=args.batches,
+            batch_size=args.batch_size,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            [
+                "cell", "reads", "avail", "failover", "suspect",
+                "degraded", "retries", "p95 us",
+            ],
+            [
+                [
+                    row.cell.label,
+                    row.reads_total,
+                    f"{row.availability:.4f}",
+                    row.failover_reads,
+                    row.suspect_routes,
+                    row.degraded_reads,
+                    row.retries,
+                    f"{row.p95_latency_us:.0f}",
+                ]
+                for row in rows
+            ],
+            title="fault matrix: 2-hop GraphSAGE workload availability",
+        )
+    )
+    worst = min(rows, key=lambda r: r.availability)
+    print(f"\nworst cell: {worst.cell.label} at {worst.availability:.2%}")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     graph = load_ahg(args.dataset)
     with np.load(args.embeddings) as data:
@@ -245,6 +317,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "runtime-demo": _cmd_runtime_demo,
+        "fault-matrix": _cmd_fault_matrix,
     }
     try:
         return handlers[args.command](args)

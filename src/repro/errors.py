@@ -44,6 +44,24 @@ class PartitionError(StorageError):
     """A partitioner was misconfigured or produced an invalid assignment."""
 
 
+class ReadUnavailableError(StorageError):
+    """A read could not be served by any healthy server or replica.
+
+    Raised when a vertex's owning worker is down (or unreachable past the
+    retry budget) and no healthy cache replica holds the data. Carries the
+    vertex and owner so callers can degrade per-vertex instead of per-batch.
+    """
+
+    def __init__(self, vertex: int, owner: int, kind: str = "neighbors") -> None:
+        super().__init__(
+            f"{kind} of vertex {vertex} unavailable: owner worker {owner} "
+            "is down and no healthy replica holds it"
+        )
+        self.vertex = vertex
+        self.owner = owner
+        self.kind = kind
+
+
 class ReproRuntimeError(ReproError, RuntimeError):
     """Problem inside the simulated RPC runtime (repro.runtime).
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import GraphError, SchemaError
+from repro.errors import SchemaError
 from repro.graph.graph import Graph
 
 

@@ -9,7 +9,7 @@ un-broadcast (summed) back to the operand shapes.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 import numpy as np
 

@@ -22,6 +22,11 @@ entry points (``get_neighbors_batch`` / ``get_attrs_batch``) through an
 
 from repro.runtime.batching import Batch, RequestBatcher
 from repro.runtime.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.runtime.health import (
+    STATE_HEALTHY,
+    STATE_SUSPECT,
+    HealthTracker,
+)
 from repro.runtime.metrics import (
     Counter,
     Gauge,
@@ -45,6 +50,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "RetryPolicy",
+    "HealthTracker",
+    "STATE_HEALTHY",
+    "STATE_SUSPECT",
     "Counter",
     "Gauge",
     "Histogram",

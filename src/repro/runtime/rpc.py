@@ -36,6 +36,7 @@ from repro.runtime.faults import (
     FaultPlan,
     RetryPolicy,
 )
+from repro.runtime.health import HealthTracker
 from repro.runtime.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -144,6 +145,7 @@ class RpcRuntime:
         faults: "FaultPlan | FaultInjector | None" = None,
         retry: "RetryPolicy | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        health: "HealthTracker | None" = None,
         inbox_capacity: int = 1024,
         timeout_us: float = 500.0,
         max_batch_size: int = 0,
@@ -157,6 +159,9 @@ class RpcRuntime:
         self.store = store
         self.clock = VirtualClock()
         self.metrics = metrics or MetricsRegistry()
+        self.health = health or HealthTracker(
+            len(store.servers), metrics=self.metrics
+        )
         self.retry = retry or RetryPolicy()
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults)
@@ -254,9 +259,28 @@ class RpcRuntime:
             ready_us, _, req = heapq.heappop(heap)
             self.clock.advance_to(ready_us)
             self.inboxes[req.dst_part].pop(req.req_id)
+            # Fail-stop membership is authoritative: a request addressed to
+            # a worker the store has declared down fails immediately — no
+            # retries (the server will never answer), no fault roll. The
+            # store's routing avoids dispatching these; this is the
+            # runtime-level guarantee that a downed shard cannot serve.
+            if req.dst_part in self.store.failed_workers:
+                self.metrics.counter("rpc.unreachable").inc()
+                responses[req.req_id] = Response(
+                    req_id=req.req_id,
+                    ok=False,
+                    latency_us=ready_us + self.timeout_us - submit_us[req.req_id],
+                    attempts=req.attempt,
+                    error=(
+                        f"{req.kind} request to server {req.dst_part}: "
+                        "server is down (fail-stop)"
+                    ),
+                )
+                continue
             self.metrics.counter("rpc.attempts").inc()
             outcome = self.faults.roll() if self.faults is not None else OUTCOME_OK
             if outcome != OUTCOME_OK:
+                self.health.record_failure(req.dst_part)
                 self.metrics.counter(f"rpc.{outcome}s").inc()
                 if req.attempt >= self.retry.max_attempts:
                     responses[req.req_id] = Response(
@@ -281,6 +305,7 @@ class RpcRuntime:
                     ready_us + self.timeout_us + backoff,
                 )
                 continue
+            self.health.record_success(req.dst_part)
             payload, meta, n_items = self._serve(req)
             factor = (
                 self.faults.service_factor(req.dst_part)

@@ -24,6 +24,7 @@ from repro.storage.importance import (
     khop_degrees,
     plan_importance_cache,
 )
+from repro.storage.replicas import ReplicaRegistry
 from repro.storage.server import GraphServer
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "make_cache",
     "CostModel",
     "GraphServer",
+    "ReplicaRegistry",
     "DistributedGraphStore",
     "build_distributed",
     "CachePlan",

@@ -24,7 +24,15 @@ from repro.utils.lru import LRUCache
 
 
 class NeighborCache:
-    """Per-server cache of remote vertices' out-neighbor arrays."""
+    """Per-server cache of remote vertices' out-neighbor arrays.
+
+    When bound to a :class:`~repro.storage.replicas.ReplicaRegistry` (via
+    :meth:`bind`), the cache keeps the registry's vertex -> holder index in
+    sync: pins and demand-fill admissions register, invalidations and LRU
+    evictions deregister. Failover and health-aware routing use the
+    registry plus :meth:`peek` — which never touches the hit/miss counters,
+    so availability probes cannot corrupt ``cache_hit_rate()``.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -34,15 +42,35 @@ class NeighborCache:
         self._lru = LRUCache(capacity)
         self.hits = 0
         self.misses = 0
+        self._registry = None  # ReplicaRegistry | None
+        self._part: int | None = None
 
     def __len__(self) -> int:
         return len(self._pinned) + len(self._lru)
 
+    def bind(self, registry, part: int) -> None:
+        """Attach a replica registry and register current contents."""
+        self._registry = registry
+        self._part = part
+        for vertex in self._pinned:
+            registry.register(vertex, part)
+        for vertex in self._lru.keys():
+            registry.register(vertex, part)
+
+    def _register(self, vertex: int) -> None:
+        if self._registry is not None:
+            self._registry.register(vertex, self._part)
+
+    def _deregister(self, vertex: int) -> None:
+        if self._registry is not None:
+            self._registry.deregister(vertex, self._part)
+
     def pin(self, vertex: int, neighbors: np.ndarray) -> None:
         """Permanently cache ``vertex``'s neighbors (up to capacity)."""
-        if len(self._pinned) >= self.capacity:
+        if vertex not in self._pinned and len(self._pinned) >= self.capacity:
             raise StorageError("neighbor cache pin capacity exhausted")
         self._pinned[vertex] = np.asarray(neighbors, dtype=np.int64)
+        self._register(vertex)
 
     def get(self, vertex: int) -> np.ndarray | None:
         """Cached neighbor array of ``vertex``, or None on a miss."""
@@ -56,6 +84,23 @@ class NeighborCache:
         self.misses += 1
         return None
 
+    def peek(self, vertex: int) -> np.ndarray | None:
+        """Cached neighbor array without hit/miss accounting or recency.
+
+        The failover/suspect-routing path reads replicas through this, so
+        serving another worker's read does not distort this cache's own
+        hit-rate statistics (they model the *owner's* locality, not the
+        cluster's failures).
+        """
+        value = self._pinned.get(vertex)
+        if value is not None:
+            return value
+        return self._lru.peek(vertex)
+
+    def is_pinned(self, vertex: int) -> bool:
+        """Whether ``vertex`` is held as a pinned (policy-selected) entry."""
+        return vertex in self._pinned
+
     def admit(self, vertex: int, neighbors: np.ndarray) -> None:
         """Offer a fetched entry for demand-filled (LRU) caching.
 
@@ -63,7 +108,10 @@ class NeighborCache:
         policy relies on it entirely.
         """
         if self._lru.capacity > 0 and vertex not in self._pinned:
-            self._lru.put(vertex, np.asarray(neighbors, dtype=np.int64))
+            evicted = self._lru.put(vertex, np.asarray(neighbors, dtype=np.int64))
+            self._register(vertex)
+            if evicted is not None and evicted != vertex:
+                self._deregister(evicted)
 
     def invalidate(self, vertex: int) -> None:
         """Drop any cached copy of ``vertex``'s neighbors (after an update).
@@ -71,8 +119,10 @@ class NeighborCache:
         Pinned entries are dropped too: a stale pinned row is worse than a
         miss.
         """
-        self._pinned.pop(vertex, None)
-        self._lru.delete(vertex)
+        pinned = self._pinned.pop(vertex, None) is not None
+        dropped = self._lru.delete(vertex)
+        if pinned or dropped:
+            self._deregister(vertex)
 
     @property
     def hit_rate(self) -> float:

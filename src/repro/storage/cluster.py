@@ -34,27 +34,31 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import RetryExhaustedError, StorageError
+from repro.errors import ReadUnavailableError, RetryExhaustedError, StorageError
 from repro.graph.builder import GraphBuilder
 from repro.graph.graph import Graph
-from repro.storage.cache import CachePolicy, ImportanceCachePolicy, make_cache
+from repro.storage.cache import CachePolicy, make_cache
 from repro.storage.costmodel import (
     EV_ATTR_CACHE_HIT,
     EV_ATTR_DECODE,
     EV_CACHE_FILL,
     EV_CACHE_HIT,
     EV_COORDINATION,
+    EV_DEGRADED_READ,
     EV_EDGE_INGESTED,
     EV_FAILOVER_READ,
     EV_ITEM_SHIPPED,
     EV_LOCAL_READ,
     EV_REMOTE_RPC,
+    EV_REPLICA_REFRESH,
+    EV_SUSPECT_ROUTE,
     CostModel,
 )
 from repro.runtime.batching import RequestBatcher
 from repro.runtime.rpc import KIND_ATTRS, KIND_NEIGHBORS, RpcRuntime
 from repro.storage.partition.base import PartitionAssignment, Partitioner
 from repro.storage.partition.hashcut import EdgeCutPartitioner
+from repro.storage.replicas import ReplicaRegistry
 from repro.storage.server import GraphServer
 from repro.utils.rng import make_rng
 from repro.utils.timer import CostAccumulator
@@ -72,6 +76,7 @@ class DistributedGraphStore:
         cache_budget_fraction: float = 0.0,
         attr_cache_capacity: int = 4096,
         seed: int = 0,
+        degraded_reads: bool = False,
     ) -> None:
         if assignment.graph is not graph:
             raise StorageError("assignment was computed for a different graph")
@@ -91,6 +96,19 @@ class DistributedGraphStore:
                     attr_cache_capacity=attr_cache_capacity,
                 )
             )
+
+        # The replica registry tracks which servers hold which cached
+        # vertices; servers keep it in sync through their caches (pins and
+        # admissions register, invalidations and evictions deregister).
+        self.replicas = ReplicaRegistry(assignment.n_parts)
+        for server in self.servers:
+            server.bind_replica_registry(self.replicas)
+
+        #: When True, a neighbors read that no healthy server or replica
+        #: can serve degrades to an empty row (``EV_DEGRADED_READ``)
+        #: instead of raising. Attribute reads never degrade — a feature
+        #: row cannot be faked — so they raise regardless.
+        self.degraded_reads = degraded_reads
 
         self.cache_policy = cache_policy
         if cache_policy is not None and cache_budget_fraction > 0:
@@ -156,70 +174,14 @@ class DistributedGraphStore:
         """The currently offline workers."""
         return frozenset(self._failed)
 
-    def _failover_lookup(self, vertex: int, from_part: int) -> np.ndarray:
-        """Serve a read whose owner is down from any healthy replica.
-
-        Replicas exist wherever a neighbor cache pinned/holds the vertex —
-        exactly the importance-cache entries ("cached on each partition it
-        occurs") — so hot vertices survive worker loss, cold ones do not.
-        """
-        for p, server in enumerate(self.servers):
-            if p in self._failed or p == from_part:
-                continue
-            cached = server.neighbor_cache.get(vertex)
-            if cached is not None:
-                self.ledger.record(EV_FAILOVER_READ)
-                return cached
-        raise StorageError(
-            f"vertex {vertex} unavailable: owner worker "
-            f"{self.owner(vertex)} is down and no healthy replica holds it"
-        )
-
-    def neighbors(self, vertex: int, from_part: int) -> np.ndarray:
-        """Out-neighbors of ``vertex`` as seen by worker ``from_part``.
-
-        Charges local/cached/remote cost according to where the data lives;
-        reads of vertices owned by failed workers fail over to any healthy
-        cache replica (or raise when none exists).
-        """
-        if not 0 <= from_part < self.n_workers:
-            raise StorageError(f"unknown worker {from_part}")
-        if from_part in self._failed:
-            raise StorageError(f"issuing worker {from_part} is down")
-        owner = self.owner(vertex)
-        if owner == from_part:
-            self.ledger.record(EV_LOCAL_READ)
-            return self.servers[owner].local_neighbors(vertex)
-        issuer = self.servers[from_part]
-        cached = issuer.neighbor_cache.get(vertex)
-        if cached is not None:
-            self.ledger.record(EV_CACHE_HIT)
-            return cached
-        if owner in self._failed:
-            return self._failover_lookup(vertex, from_part)
-        self.ledger.record(EV_REMOTE_RPC)
-        result = self.servers[owner].local_neighbors(vertex)
-        self.ledger.record(EV_ITEM_SHIPPED, times=int(result.size))
-        if self.cache_policy is not None and self.cache_policy.demand_filled:
-            issuer.neighbor_cache.admit(vertex, result)
-            self.ledger.record(EV_CACHE_FILL)
-        return result
-
-    def vertex_attr(self, vertex: int, from_part: int) -> np.ndarray:
-        """Attribute row of ``vertex`` as seen by worker ``from_part``."""
-        owner = self.owner(vertex)
-        server = self.servers[owner]
-        if not server.attrs.has_vertex_attr(vertex):
-            raise StorageError(f"vertex {vertex} has no attributes stored")
-        was_cached = vertex in server.attrs.iv_cache
-        if owner != from_part:
-            self.ledger.record(EV_REMOTE_RPC)
-        value = server.local_vertex_attr(vertex)
-        self.ledger.record(EV_ATTR_CACHE_HIT if was_cached else EV_ATTR_DECODE)
-        return value
-
     # ------------------------------------------------------------------ #
-    # Batched reads through the RPC runtime
+    # The unified read path
+    #
+    # Every read — scalar or batched, neighbors or attributes — resolves
+    # through _resolve_read, so local/cached/remote/failover/degraded
+    # semantics are identical on all four entry points. Scalar reads are
+    # batches of one: same validation, same ledger events, same failure
+    # behaviour.
     # ------------------------------------------------------------------ #
     def attach_runtime(self, runtime: RpcRuntime) -> None:
         """Install the RPC runtime mediating this store's batched reads."""
@@ -234,90 +196,73 @@ class DistributedGraphStore:
             self.attach_runtime(RpcRuntime(self))
         return self.runtime
 
-    def get_neighbors_batch(
-        self, vertices: "np.ndarray | list[int]", from_part: int
-    ) -> "dict[int, np.ndarray]":
-        """Out-neighbors of a vertex batch as seen by worker ``from_part``.
+    def _replica_peek(self, vertex: int, exclude_part: int) -> "np.ndarray | None":
+        """A healthy replica's copy of ``vertex``'s neighbors, or None.
 
-        Routing per vertex is identical to :meth:`neighbors` (local shard,
-        issuer cache, failover), but all remote misses coalesce into one
-        deduplicated request per owning server through the runtime: the
-        ledger charges one ``remote_rpc`` per batch plus per-item shipping.
-        A batch whose retries are exhausted falls back to a per-vertex
-        failover read and raises :class:`~repro.errors.RetryExhaustedError`
-        when no replica holds the vertex.
+        Resolved through the replica registry (one dict lookup, not a scan
+        over servers) and read with ``peek`` so availability probes never
+        touch any cache's hit/miss counters.
         """
+        for p in self.replicas.holders(vertex):
+            if p == exclude_part or p in self._failed:
+                continue
+            row = self.servers[p].neighbor_cache.peek(vertex)
+            if row is not None:
+                return row
+        return None
+
+    def _read_unavailable(self, vertex: int, kind: str) -> np.ndarray:
+        """Last resort for a read no server or replica can serve."""
+        if self.degraded_reads and kind == KIND_NEIGHBORS:
+            self.ledger.record(EV_DEGRADED_READ)
+            if self.runtime is not None:
+                self.runtime.metrics.counter("reads.degraded").inc()
+            return np.zeros(0, dtype=np.int64)
+        raise ReadUnavailableError(vertex, self.owner(vertex), kind)
+
+    def _failover_read(self, vertex: int, from_part: int, kind: str) -> np.ndarray:
+        """Serve a read whose owner is unreachable from a healthy replica.
+
+        Replicas exist wherever a neighbor cache pinned/holds the vertex —
+        exactly the importance-cache entries ("cached on each partition it
+        occurs") — so hot vertices survive worker loss, cold ones do not.
+        Attribute rows have no replicas, so attr reads go straight to
+        :meth:`_read_unavailable` (raise, or degrade when enabled).
+        """
+        if kind == KIND_NEIGHBORS:
+            row = self._replica_peek(vertex, from_part)
+            if row is not None:
+                self.ledger.record(EV_FAILOVER_READ)
+                return row
+        return self._read_unavailable(vertex, kind)
+
+    def _resolve_read(
+        self, kind: str, vertices: "np.ndarray | list[int]", from_part: int
+    ) -> "dict[int, np.ndarray]":
+        """Resolve a deduplicated read batch as seen by ``from_part``.
+
+        Per-vertex routing, in order: owned shard (local), issuer neighbor
+        cache, fail-stopped owner -> replica failover, suspect owner ->
+        replica route (with probing), otherwise remote via the runtime —
+        one coalesced request per owning server. RPC failures past the
+        retry budget fall back to replica failover per vertex and raise
+        :class:`~repro.errors.RetryExhaustedError` when no replica holds
+        the data (or degrade, see ``degraded_reads``).
+        """
+        if kind not in (KIND_NEIGHBORS, KIND_ATTRS):
+            raise StorageError(f"unknown read kind {kind!r}")
         if not 0 <= from_part < self.n_workers:
             raise StorageError(f"unknown worker {from_part}")
         if from_part in self._failed:
             raise StorageError(f"issuing worker {from_part} is down")
         runtime = self._ensure_runtime()
+        health = runtime.health
         issuer = self.servers[from_part]
-        results: "dict[int, np.ndarray]" = {}
-        remote_reads: "list[tuple[int, int]]" = []
-        seen: set[int] = set()
-        for v in vertices:
-            v = int(v)
-            if v in seen:
-                continue
-            seen.add(v)
-            owner = self.owner(v)
-            if owner == from_part:
-                self.ledger.record(EV_LOCAL_READ)
-                results[v] = self.servers[owner].local_neighbors(v)
-                continue
-            cached = issuer.neighbor_cache.get(v)
-            if cached is not None:
-                self.ledger.record(EV_CACHE_HIT)
-                results[v] = cached
-                continue
-            if owner in self._failed:
-                results[v] = self._failover_lookup(v, from_part)
-                continue
-            remote_reads.append((v, owner))
-
-        if not remote_reads:
-            return results
-        demand_fill = self.cache_policy is not None and self.cache_policy.demand_filled
-        batches = self._batcher.plan(KIND_NEIGHBORS, remote_reads)
-        requests = [
-            runtime.make_request(b.kind, from_part, b.dst_part, b.vertices)
-            for b in batches
-        ]
-        for req, resp in zip(requests, runtime.execute(requests)):
-            if resp.ok:
-                self.ledger.record(EV_REMOTE_RPC)
-                shipped = sum(int(row.size) for row in resp.payload.values())
-                self.ledger.record(EV_ITEM_SHIPPED, times=shipped)
-                for v, row in resp.payload.items():
-                    results[v] = row
-                    if demand_fill:
-                        issuer.neighbor_cache.admit(v, row)
-                        self.ledger.record(EV_CACHE_FILL)
-            else:
-                for v in req.vertices:
-                    try:
-                        results[v] = self._failover_lookup(v, from_part)
-                    except StorageError as exc:
-                        raise RetryExhaustedError(
-                            f"neighbors of vertex {v}: {resp.error}, "
-                            "and no healthy replica holds it",
-                            resp.attempts,
-                        ) from exc
-        return results
-
-    def get_attrs_batch(
-        self, vertices: "np.ndarray | list[int]", from_part: int
-    ) -> "dict[int, np.ndarray]":
-        """Attribute rows of a vertex batch as seen by worker ``from_part``.
-
-        Remote rows coalesce into one request per owning server; the ledger
-        charges one ``remote_rpc`` per batch and the per-vertex decode /
-        IV-cache-hit events exactly as :meth:`vertex_attr` does.
-        """
-        if not 0 <= from_part < self.n_workers:
-            raise StorageError(f"unknown worker {from_part}")
-        runtime = self._ensure_runtime()
+        demand_fill = (
+            kind == KIND_NEIGHBORS
+            and self.cache_policy is not None
+            and self.cache_policy.demand_filled
+        )
         results: "dict[int, np.ndarray]" = {}
         remote_reads: "list[tuple[int, int]]" = []
         seen: set[int] = set()
@@ -328,37 +273,133 @@ class DistributedGraphStore:
             seen.add(v)
             owner = self.owner(v)
             server = self.servers[owner]
-            if not server.attrs.has_vertex_attr(v):
-                raise StorageError(f"vertex {v} has no attributes stored")
             if owner == from_part:
-                was_cached = v in server.attrs.iv_cache
-                results[v] = server.local_vertex_attr(v)
-                self.ledger.record(
-                    EV_ATTR_CACHE_HIT if was_cached else EV_ATTR_DECODE
-                )
-            else:
-                remote_reads.append((v, owner))
+                if kind == KIND_NEIGHBORS:
+                    self.ledger.record(EV_LOCAL_READ)
+                    results[v] = server.local_neighbors(v)
+                else:
+                    if not server.attrs.has_vertex_attr(v):
+                        raise StorageError(
+                            f"vertex {v} has no attributes stored"
+                        )
+                    was_cached = v in server.attrs.iv_cache
+                    results[v] = server.local_vertex_attr(v)
+                    self.ledger.record(
+                        EV_ATTR_CACHE_HIT if was_cached else EV_ATTR_DECODE
+                    )
+                continue
+            if kind == KIND_NEIGHBORS:
+                cached = issuer.neighbor_cache.get(v)
+                if cached is not None:
+                    self.ledger.record(EV_CACHE_HIT)
+                    results[v] = cached
+                    continue
+            if owner in self._failed:
+                results[v] = self._failover_read(v, from_part, kind)
+                continue
+            if kind == KIND_ATTRS and not server.attrs.has_vertex_attr(v):
+                raise StorageError(f"vertex {v} has no attributes stored")
+            if (
+                kind == KIND_NEIGHBORS
+                and health.is_suspect(owner)
+                and not health.should_probe(owner)
+            ):
+                row = self._replica_peek(v, from_part)
+                if row is not None:
+                    self.ledger.record(EV_SUSPECT_ROUTE)
+                    runtime.metrics.counter("health.suspect_routes").inc()
+                    results[v] = row
+                    continue
+            remote_reads.append((v, owner))
 
         if not remote_reads:
             return results
-        batches = self._batcher.plan(KIND_ATTRS, remote_reads)
+        batches = self._batcher.plan(kind, remote_reads)
         requests = [
             runtime.make_request(b.kind, from_part, b.dst_part, b.vertices)
             for b in batches
         ]
         for req, resp in zip(requests, runtime.execute(requests)):
-            if not resp.ok:
-                raise RetryExhaustedError(
-                    f"attribute batch for server {req.dst_part}: {resp.error}",
-                    resp.attempts,
-                )
-            self.ledger.record(EV_REMOTE_RPC)
-            for v, row in resp.payload.items():
-                results[v] = row
-                self.ledger.record(
-                    EV_ATTR_CACHE_HIT if resp.meta.get(v) else EV_ATTR_DECODE
-                )
+            if resp.ok:
+                self.ledger.record(EV_REMOTE_RPC)
+                if kind == KIND_NEIGHBORS:
+                    shipped = sum(int(row.size) for row in resp.payload.values())
+                    self.ledger.record(EV_ITEM_SHIPPED, times=shipped)
+                    for v, row in resp.payload.items():
+                        results[v] = row
+                        if demand_fill:
+                            issuer.neighbor_cache.admit(v, row)
+                            self.ledger.record(EV_CACHE_FILL)
+                else:
+                    for v, row in resp.payload.items():
+                        results[v] = row
+                        self.ledger.record(
+                            EV_ATTR_CACHE_HIT
+                            if resp.meta.get(v)
+                            else EV_ATTR_DECODE
+                        )
+            else:
+                for v in req.vertices:
+                    try:
+                        results[v] = self._failover_read(v, from_part, kind)
+                    except ReadUnavailableError as exc:
+                        raise RetryExhaustedError(
+                            f"{kind} of vertex {v}: {resp.error}, "
+                            "and no healthy replica holds it",
+                            resp.attempts,
+                        ) from exc
         return results
+
+    def neighbors(self, vertex: int, from_part: int) -> np.ndarray:
+        """Out-neighbors of ``vertex`` as seen by worker ``from_part``.
+
+        A batch of one through the unified read path: charges
+        local/cached/remote cost according to where the data lives; reads
+        of vertices owned by failed workers fail over to any healthy cache
+        replica (or raise when none exists).
+        """
+        return self._resolve_read(KIND_NEIGHBORS, (vertex,), from_part)[
+            int(vertex)
+        ]
+
+    def vertex_attr(self, vertex: int, from_part: int) -> np.ndarray:
+        """Attribute row of ``vertex`` as seen by worker ``from_part``.
+
+        A batch of one through the unified read path — validation and
+        failure semantics are identical to :meth:`neighbors`: unknown or
+        down issuers are rejected and reads of vertices owned by failed
+        workers raise (attribute rows have no replicas to fail over to).
+        """
+        return self._resolve_read(KIND_ATTRS, (vertex,), from_part)[int(vertex)]
+
+    def get_neighbors_batch(
+        self, vertices: "np.ndarray | list[int]", from_part: int
+    ) -> "dict[int, np.ndarray]":
+        """Out-neighbors of a vertex batch as seen by worker ``from_part``.
+
+        Routing per vertex is identical to :meth:`neighbors` (same shared
+        path), but all remote misses coalesce into one deduplicated
+        request per owning server through the runtime: the ledger charges
+        one ``remote_rpc`` per batch plus per-item shipping. A batch whose
+        retries are exhausted falls back to a per-vertex failover read and
+        raises :class:`~repro.errors.RetryExhaustedError` when no replica
+        holds the vertex.
+        """
+        return self._resolve_read(KIND_NEIGHBORS, vertices, from_part)
+
+    def get_attrs_batch(
+        self, vertices: "np.ndarray | list[int]", from_part: int
+    ) -> "dict[int, np.ndarray]":
+        """Attribute rows of a vertex batch as seen by worker ``from_part``.
+
+        Remote rows coalesce into one request per owning server; the ledger
+        charges one ``remote_rpc`` per batch and the per-vertex decode /
+        IV-cache-hit events exactly as :meth:`vertex_attr` does. Reads of
+        vertices owned by failed workers raise :class:`StorageError`
+        (attribute rows have no replicas), and the issuer-down check is the
+        same one every other read path applies.
+        """
+        return self._resolve_read(KIND_ATTRS, vertices, from_part)
 
     # ------------------------------------------------------------------ #
     # Streaming updates (the "frequent edge updates" regime of §3.2)
@@ -368,10 +409,15 @@ class DistributedGraphStore:
 
         Additions/removals are routed to the source vertex's owning shard;
         every server's cached copy of the touched vertex's neighbor list is
-        invalidated (dropped from pinned and demand-filled entries alike)
-        so subsequent reads observe the new adjacency. Returns the number
-        of applied events. Note: the immutable analytical snapshot
-        (``self.graph``) is not mutated — this is the serving path.
+        invalidated so subsequent reads observe the new adjacency. Servers
+        that held the vertex as a *pinned* (importance-selected) entry are
+        re-pinned with the fresh adjacency — a hot vertex keeps its replica
+        set, and therefore its failover coverage, across updates (one
+        ``replica_refresh`` push plus per-item shipping per holder).
+        Demand-filled (LRU) copies are dropped only; they re-fill on the
+        next access. Returns the number of applied events. Note: the
+        immutable analytical snapshot (``self.graph``) is not mutated —
+        this is the serving path.
         """
         applied = 0
         for ev in events:
@@ -381,6 +427,11 @@ class DistributedGraphStore:
                     f"cannot apply update: owner worker {owner} is down"
                 )
             server = self.servers[owner]
+            pinned_holders = [
+                p
+                for p in self.replicas.holders(ev.src)
+                if self.servers[p].neighbor_cache.is_pinned(ev.src)
+            ]
             if ev.kind == "add":
                 server.add_local_edge(ev.src, ev.dst)
                 applied += 1
@@ -389,6 +440,15 @@ class DistributedGraphStore:
             self.ledger.record(EV_EDGE_INGESTED)
             for other in self.servers:
                 other.neighbor_cache.invalidate(ev.src)
+            if pinned_holders:
+                fresh = server.local_neighbors(ev.src)
+                for p in pinned_holders:
+                    self.servers[p].neighbor_cache.pin(ev.src, fresh)
+                    if p != owner:
+                        self.ledger.record(EV_REPLICA_REFRESH)
+                        self.ledger.record(
+                            EV_ITEM_SHIPPED, times=int(fresh.size)
+                        )
         return applied
 
     def reset_ledger(self) -> None:
@@ -427,6 +487,7 @@ def make_store(
     cache_policy: CachePolicy | None = None,
     cache_budget_fraction: float = 0.0,
     seed: int = 0,
+    degraded_reads: bool = False,
 ) -> DistributedGraphStore:
     """Partition ``graph`` and stand up a distributed store over it."""
     partitioner = partitioner or EdgeCutPartitioner()
@@ -438,6 +499,7 @@ def make_store(
         cache_policy=cache_policy,
         cache_budget_fraction=cache_budget_fraction,
         seed=seed,
+        degraded_reads=degraded_reads,
     )
 
 

@@ -14,7 +14,7 @@ calibration is transparent and swappable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.timer import CostAccumulator
 
@@ -30,6 +30,12 @@ EV_EDGE_INGESTED = "edge_ingested"  # one edge processed during build
 EV_COORDINATION = "coordination"  # per-build-round coordination barrier
 EV_FAILOVER_READ = "failover_read"  # read served from a replica after a
 # worker failure (a remote hop to whichever healthy cache holds the entry)
+EV_SUSPECT_ROUTE = "suspect_route"  # read routed around a *suspect* (not
+# fail-stopped) server to a healthy replica
+EV_DEGRADED_READ = "degraded_read"  # unavailable read answered with an
+# empty row because the store runs in degraded mode (opt-in)
+EV_REPLICA_REFRESH = "replica_refresh"  # fresh adjacency pushed to one
+# replica holder after a streaming edge update (re-pin)
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,9 @@ class CostModel:
     edge_ingest_us: float = 1.2
     coordination_us: float = 50_000.0
     failover_read_us: float = 120.0
+    suspect_route_us: float = 120.0
+    degraded_read_us: float = 0.5
+    replica_refresh_us: float = 100.0
 
     def cost_table(self) -> dict[str, float]:
         """Event-name -> µs mapping consumed by :class:`CostAccumulator`."""
@@ -60,6 +69,9 @@ class CostModel:
             EV_EDGE_INGESTED: self.edge_ingest_us,
             EV_COORDINATION: self.coordination_us,
             EV_FAILOVER_READ: self.failover_read_us,
+            EV_SUSPECT_ROUTE: self.suspect_route_us,
+            EV_DEGRADED_READ: self.degraded_read_us,
+            EV_REPLICA_REFRESH: self.replica_refresh_us,
         }
 
     def accumulator(self) -> CostAccumulator:

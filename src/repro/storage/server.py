@@ -48,7 +48,31 @@ class GraphServer:
             vertex_cache_capacity=attr_cache_capacity,
             edge_cache_capacity=attr_cache_capacity,
         )
-        self.neighbor_cache = NeighborCache(neighbor_cache_capacity)
+        self._replica_registry = None  # ReplicaRegistry | None
+        self._neighbor_cache = NeighborCache(neighbor_cache_capacity)
+
+    @property
+    def neighbor_cache(self) -> NeighborCache:
+        """This server's neighbor cache (assignment rebinds the registry)."""
+        return self._neighbor_cache
+
+    @neighbor_cache.setter
+    def neighbor_cache(self, cache: NeighborCache) -> None:
+        self._neighbor_cache = cache
+        if self._replica_registry is not None:
+            self._replica_registry.drop_part(self.part_id)
+            cache.bind(self._replica_registry, self.part_id)
+
+    def bind_replica_registry(self, registry) -> None:
+        """Keep ``registry`` in sync with this server's cache contents.
+
+        Current contents register immediately; future cache swaps (policy
+        changes, manual replica installs) rebind automatically through the
+        :attr:`neighbor_cache` setter.
+        """
+        self._replica_registry = registry
+        registry.drop_part(self.part_id)
+        self._neighbor_cache.bind(registry, self.part_id)
 
     def __repr__(self) -> str:
         return (

@@ -39,14 +39,14 @@ class AliasTable:
         large = [i for i in range(n) if prob[i] >= 1.0]
         while small and large:
             s = small.pop()
-            l = large.pop()
+            g = large.pop()
             self._prob[s] = prob[s]
-            self._alias[s] = l
-            prob[l] = prob[l] - (1.0 - prob[s])
-            if prob[l] < 1.0:
-                small.append(l)
+            self._alias[s] = g
+            prob[g] = prob[g] - (1.0 - prob[s])
+            if prob[g] < 1.0:
+                small.append(g)
             else:
-                large.append(l)
+                large.append(g)
         # Leftovers are 1.0 up to floating point; leave prob=1, alias=self.
         self._n = n
 

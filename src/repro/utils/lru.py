@@ -40,16 +40,30 @@ class LRUCache:
         self.misses += 1
         return default
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh ``key``; evicts the least recently used entry."""
+    def put(self, key: Hashable, value: Any) -> Hashable | None:
+        """Insert/refresh ``key``; evicts the least recently used entry.
+
+        Returns the evicted key (callers maintaining external indices —
+        e.g. the replica registry — deregister it), or None.
+        """
         if self.capacity == 0:
-            return
+            return None
         if key in self._store:
             self._store.move_to_end(key)
         self._store[key] = value
         if len(self._store) > self.capacity:
-            self._store.popitem(last=False)
+            evicted, _ = self._store.popitem(last=False)
             self.evictions += 1
+            return evicted
+        return None
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value without touching recency or statistics."""
+        return self._store.get(key, default)
+
+    def keys(self) -> "tuple[Hashable, ...]":
+        """Currently cached keys, least recently used first."""
+        return tuple(self._store.keys())
 
     def delete(self, key: Hashable) -> bool:
         """Remove ``key`` if present (no stat changes); returns whether it was."""

@@ -1,7 +1,6 @@
 """Integration tests: full pipelines across all layers."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms import GATNE, DeepWalk, GraphSAGE
 from repro.data import make_dataset, train_test_split_edges

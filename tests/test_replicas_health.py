@@ -1,0 +1,369 @@
+"""ReplicaRegistry and HealthTracker units, plus the routing regressions.
+
+Covers the registry's two-way index (register/deregister/drop_part and the
+cache bindings that maintain it), the suspect/recover/probe state machine,
+and two regressions the unified read path fixed:
+
+* failover probes must not count as cache lookups (they used to inflate
+  ``misses`` on every scanned server and corrupt ``cache_hit_rate()``);
+* ``apply_edge_events`` must re-pin fresh adjacency on every server that
+  held the vertex pinned (it used to drop the entry and never re-pin,
+  silently shrinking the hot vertex's failover coverage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeConfigError, StorageError
+from repro.graph.dynamic import EdgeEvent
+from repro.runtime import RpcRuntime
+from repro.runtime.health import STATE_HEALTHY, HealthTracker
+from repro.runtime.metrics import MetricsRegistry
+from repro.storage.cache import ImportanceCachePolicy, NeighborCache
+from repro.storage.cluster import make_store
+from repro.storage.costmodel import (
+    EV_FAILOVER_READ,
+    EV_REPLICA_REFRESH,
+    EV_SUSPECT_ROUTE,
+)
+from repro.storage.replicas import ReplicaRegistry
+
+
+# --------------------------------------------------------------------- #
+# ReplicaRegistry
+# --------------------------------------------------------------------- #
+def test_registry_register_and_holders():
+    reg = ReplicaRegistry(3)
+    reg.register(7, 0)
+    reg.register(7, 2)
+    reg.register(7, 2)  # idempotent
+    assert reg.holders(7) == (0, 2)
+    assert reg.replica_count(7) == 2
+    assert reg.held_by(2) == (7,)
+    assert 7 in reg and 8 not in reg
+    assert reg.n_tracked == 1
+
+
+def test_registry_deregister_cleans_up():
+    reg = ReplicaRegistry(2)
+    reg.register(1, 0)
+    reg.deregister(1, 1)  # never held there: no-op
+    assert reg.holders(1) == (0,)
+    reg.deregister(1, 0)
+    assert reg.holders(1) == ()
+    assert 1 not in reg
+    assert reg.n_tracked == 0
+
+
+def test_registry_drop_part():
+    reg = ReplicaRegistry(2)
+    for v in (1, 2, 3):
+        reg.register(v, 0)
+    reg.register(2, 1)
+    reg.drop_part(0)
+    assert reg.held_by(0) == ()
+    assert reg.holders(2) == (1,)
+    assert reg.holders(1) == () and reg.holders(3) == ()
+    assert reg.n_tracked == 1
+
+
+def test_registry_validates_parts():
+    with pytest.raises(StorageError):
+        ReplicaRegistry(0)
+    reg = ReplicaRegistry(2)
+    for bad in (-1, 2):
+        with pytest.raises(StorageError):
+            reg.register(0, bad)
+        with pytest.raises(StorageError):
+            reg.deregister(0, bad)
+
+
+def test_cache_bindings_maintain_registry(small_powerlaw):
+    """Pins, demand fills, evictions and invalidations all sync the index."""
+    reg = ReplicaRegistry(1)
+    cache = NeighborCache(2)
+    cache.bind(reg, 0)
+    cache.pin(5, np.array([1, 2]))
+    assert reg.holders(5) == (0,)
+    cache.admit(6, np.array([3]))
+    cache.admit(7, np.array([4]))
+    assert reg.holders(6) == (0,) and reg.holders(7) == (0,)
+    cache.admit(8, np.array([5]))  # evicts 6 (LRU capacity 2)
+    assert reg.holders(6) == ()
+    assert reg.holders(8) == (0,)
+    cache.invalidate(5)
+    assert reg.holders(5) == ()
+    cache.invalidate(99)  # never cached: registry untouched, no error
+    assert reg.n_tracked == 2
+
+
+def test_store_installs_caches_into_registry(small_powerlaw):
+    store = make_store(
+        small_powerlaw,
+        3,
+        cache_policy=ImportanceCachePolicy(),
+        cache_budget_fraction=0.05,
+        seed=0,
+    )
+    pinned = set(store.servers[0].neighbor_cache._pinned)
+    assert pinned
+    for v in pinned:
+        assert store.replicas.holders(v) == (0, 1, 2)
+    # Swapping one server's cache drops its old registrations.
+    store.servers[1].neighbor_cache = NeighborCache(0)
+    for v in pinned:
+        assert store.replicas.holders(v) == (0, 2)
+
+
+# --------------------------------------------------------------------- #
+# HealthTracker
+# --------------------------------------------------------------------- #
+def test_health_suspects_after_consecutive_failures():
+    h = HealthTracker(2, suspect_after=3)
+    h.record_failure(1)
+    h.record_failure(1)
+    assert h.state(1) == STATE_HEALTHY
+    h.record_failure(1)
+    assert h.is_suspect(1)
+    assert h.suspect_parts == frozenset({1})
+    assert h.metrics.counter("health.suspects").value == 1
+    assert h.metrics.gauge("health.suspect_parts").value == 1
+
+
+def test_health_success_resets_failure_streak():
+    h = HealthTracker(1, suspect_after=3)
+    h.record_failure(0)
+    h.record_failure(0)
+    h.record_success(0)  # interleaved success: streak back to zero
+    h.record_failure(0)
+    h.record_failure(0)
+    assert h.state(0) == STATE_HEALTHY
+
+
+def test_health_recovers_after_consecutive_successes():
+    h = HealthTracker(1, suspect_after=2, recover_after=2)
+    h.record_failure(0)
+    h.record_failure(0)
+    assert h.is_suspect(0)
+    h.record_success(0)
+    h.record_failure(0)  # breaks the ok streak while suspect
+    h.record_success(0)
+    assert h.is_suspect(0)
+    h.record_success(0)
+    assert h.state(0) == STATE_HEALTHY
+    assert h.metrics.counter("health.recoveries").value == 1
+    assert h.metrics.gauge("health.suspect_parts").value == 0
+
+
+def test_health_probe_cadence():
+    h = HealthTracker(1, probe_every=4)
+    decisions = [h.should_probe(0) for _ in range(8)]
+    assert decisions == [False, False, False, True] * 2
+    assert h.metrics.counter("health.probes").value == 2
+
+
+def test_health_reset_and_validation():
+    with pytest.raises(RuntimeConfigError):
+        HealthTracker(0)
+    with pytest.raises(RuntimeConfigError):
+        HealthTracker(1, suspect_after=0)
+    with pytest.raises(RuntimeConfigError):
+        HealthTracker(1, recover_after=0)
+    with pytest.raises(RuntimeConfigError):
+        HealthTracker(1, probe_every=0)
+    h = HealthTracker(2, suspect_after=1)
+    with pytest.raises(RuntimeConfigError):
+        h.record_failure(5)
+    h.record_failure(0)
+    assert h.is_suspect(0)
+    h.reset()
+    assert h.suspect_parts == frozenset()
+
+
+def test_runtime_feeds_health_tracker(small_powerlaw):
+    """Delivery outcomes flow into the shared tracker automatically."""
+    store = make_store(small_powerlaw, 2, seed=0)
+    runtime = RpcRuntime(store)
+    store.attach_runtime(runtime)
+    v = next(u for u in range(1000) if store.owner(u) == 1)
+    store.neighbors(v, from_part=0)
+    assert runtime.health.state(1) == STATE_HEALTHY
+    assert runtime.health.metrics is runtime.metrics
+
+
+# --------------------------------------------------------------------- #
+# Suspect routing through the store
+# --------------------------------------------------------------------- #
+def test_suspect_owner_routes_to_replica(small_powerlaw):
+    store = make_store(small_powerlaw, 3, seed=0)
+    runtime = RpcRuntime(store)
+    store.attach_runtime(runtime)
+    v = next(
+        u for u in range(1000)
+        if store.owner(u) == 2 and small_powerlaw.out_neighbors(u).size
+    )
+    cache = NeighborCache(2)
+    cache.pin(v, small_powerlaw.out_neighbors(v))
+    store.servers[1].neighbor_cache = cache
+    for _ in range(3):
+        runtime.health.record_failure(2)
+    assert runtime.health.is_suspect(2)
+    row = store.neighbors(v, from_part=0)
+    np.testing.assert_array_equal(row, small_powerlaw.out_neighbors(v))
+    assert store.ledger.count(EV_SUSPECT_ROUTE) == 1
+    assert runtime.metrics.counter("health.suspect_routes").value == 1
+    # The suspect server was never contacted: the read cost no RPC events.
+    assert runtime.metrics.counter("rpc.requests").value == 0
+
+
+def test_suspect_without_replica_goes_through(small_powerlaw):
+    store = make_store(small_powerlaw, 3, seed=0)
+    runtime = RpcRuntime(store)
+    store.attach_runtime(runtime)
+    v = next(u for u in range(1000) if store.owner(u) == 2)
+    for _ in range(3):
+        runtime.health.record_failure(2)
+    row = store.neighbors(v, from_part=0)
+    np.testing.assert_array_equal(row, small_powerlaw.out_neighbors(v))
+    assert store.ledger.count(EV_SUSPECT_ROUTE) == 0
+    assert runtime.metrics.counter("rpc.requests").value == 1
+
+
+def test_suspect_recovers_through_probes(small_powerlaw):
+    """Probed reads reach the suspect; fault-free deliveries heal it."""
+    store = make_store(small_powerlaw, 2, seed=0)
+    runtime = RpcRuntime(
+        store, health=HealthTracker(2, recover_after=2, probe_every=1)
+    )
+    store.attach_runtime(runtime)
+    vs = [
+        u for u in range(1000)
+        if store.owner(u) == 1 and small_powerlaw.out_neighbors(u).size
+    ][:2]
+    for _ in range(3):
+        runtime.health.record_failure(1)
+    assert runtime.health.is_suspect(1)
+    for v in vs:  # probe_every=1: every read probes straight through
+        store.neighbors(v, from_part=0)
+    assert runtime.health.state(1) == STATE_HEALTHY
+
+
+# --------------------------------------------------------------------- #
+# Regression: failover must not count as cache lookups (satellite 3)
+# --------------------------------------------------------------------- #
+def test_failover_does_not_touch_cache_counters(small_powerlaw):
+    store = make_store(small_powerlaw, 3, seed=0)
+    v = next(
+        u for u in range(1000)
+        if store.owner(u) == 2 and small_powerlaw.out_neighbors(u).size
+    )
+    cache = NeighborCache(2)
+    cache.pin(v, small_powerlaw.out_neighbors(v))
+    store.servers[1].neighbor_cache = cache
+    store.fail_worker(2)
+    # The issuer's own (legitimate) lookup misses; the replica holder must
+    # see no traffic on its counters at all.
+    issuer_misses = store.servers[0].neighbor_cache.misses
+    store.neighbors(v, from_part=0)
+    assert store.ledger.count(EV_FAILOVER_READ) == 1
+    assert store.servers[1].neighbor_cache.hits == 0
+    assert store.servers[1].neighbor_cache.misses == 0
+    assert store.servers[0].neighbor_cache.misses == issuer_misses + 1
+    assert store.cache_hit_rate() == 0.0  # one honest issuer miss, no hits
+
+
+def test_replica_peek_skips_failed_holders(small_powerlaw):
+    store = make_store(small_powerlaw, 3, seed=0)
+    v = next(
+        u for u in range(1000)
+        if store.owner(u) == 2 and small_powerlaw.out_neighbors(u).size
+    )
+    cache = NeighborCache(2)
+    cache.pin(v, small_powerlaw.out_neighbors(v))
+    store.servers[1].neighbor_cache = cache
+    store.fail_worker(2)
+    store.fail_worker(1)  # the only replica holder is down too
+    with pytest.raises(StorageError):
+        store.neighbors(v, from_part=0)
+
+
+# --------------------------------------------------------------------- #
+# Regression: updates re-pin fresh adjacency on all holders (satellite 4)
+# --------------------------------------------------------------------- #
+def _importance_store(graph):
+    return make_store(
+        graph,
+        3,
+        cache_policy=ImportanceCachePolicy(),
+        cache_budget_fraction=0.05,
+        seed=0,
+    )
+
+
+def test_update_repins_fresh_adjacency_everywhere(small_powerlaw):
+    store = _importance_store(small_powerlaw)
+    v = next(iter(store.servers[0].neighbor_cache._pinned))
+    assert store.replicas.holders(v) == (0, 1, 2)
+    owner = store.owner(v)
+    fresh_dst = next(
+        u for u in range(1000) if u not in small_powerlaw.out_neighbors(v)
+    )
+    applied = store.apply_edge_events([EdgeEvent(timestamp=0, src=v, dst=fresh_dst)])
+    assert applied == 1
+    expected = store.servers[owner].local_neighbors(v)
+    assert fresh_dst in expected
+    for server in store.servers:
+        assert server.neighbor_cache.is_pinned(v)
+        np.testing.assert_array_equal(server.neighbor_cache.peek(v), expected)
+    # The replica set survived the update wholesale.
+    assert store.replicas.holders(v) == (0, 1, 2)
+    # Refresh pushes are charged for every non-owner holder.
+    assert store.ledger.count(EV_REPLICA_REFRESH) == 2
+
+
+def test_update_keeps_failover_coverage(small_powerlaw):
+    store = _importance_store(small_powerlaw)
+    v = next(iter(store.servers[0].neighbor_cache._pinned))
+    owner = store.owner(v)
+    fresh_dst = next(
+        u for u in range(1000) if u not in small_powerlaw.out_neighbors(v)
+    )
+    store.apply_edge_events([EdgeEvent(timestamp=0, src=v, dst=fresh_dst)])
+    expected = store.servers[owner].local_neighbors(v)
+    store.fail_worker(owner)
+    issuer = next(p for p in range(3) if p != owner)
+    got = store.neighbors(v, from_part=issuer)
+    np.testing.assert_array_equal(got, expected)
+    assert fresh_dst in got
+
+
+def test_update_does_not_repin_lru_copies(small_powerlaw):
+    """Demand-filled copies just drop; they re-fill on the next access."""
+    from repro.storage.cache import LRUCachePolicy
+
+    store = make_store(
+        small_powerlaw,
+        2,
+        cache_policy=LRUCachePolicy(),
+        cache_budget_fraction=0.05,
+        seed=0,
+    )
+    v = next(
+        u for u in range(1000)
+        if store.owner(u) == 1 and small_powerlaw.out_neighbors(u).size
+    )
+    store.neighbors(v, from_part=0)  # demand-fills the issuer's LRU
+    assert store.replicas.holders(v) == (0,)
+    store.apply_edge_events([EdgeEvent(timestamp=0, src=v, dst=int(v))])
+    assert store.replicas.holders(v) == ()
+    assert not store.servers[0].neighbor_cache.is_pinned(v)
+    assert store.ledger.count(EV_REPLICA_REFRESH) == 0
+
+
+def test_metrics_registry_shared_between_runtime_and_health():
+    metrics = MetricsRegistry()
+    h = HealthTracker(1, suspect_after=1, metrics=metrics)
+    h.record_failure(0)
+    assert metrics.counter("health.suspects").value == 1

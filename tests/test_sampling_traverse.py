@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import SamplingError
 from repro.sampling import EdgeTraverseSampler, VertexTraverseSampler
-from repro.utils.rng import make_rng
 
 
 def test_vertex_sample_from_pool(tiny_ahg, rng):

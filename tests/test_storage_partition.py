@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data import powerlaw_graph
 from repro.errors import PartitionError
 from repro.graph import Graph
 from repro.storage.partition import (
