@@ -13,6 +13,8 @@ in-house GNNs are all configurations or subclasses of this machinery.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.algorithms.base import EmbeddingModel, unit_rows
@@ -58,6 +60,9 @@ class _GNNEncoder(Module):
     ) -> None:
         from repro.nn.layers import Dense
 
+        #: Optional StageProfiler bucketing forward into materialize /
+        #: aggregate / combine stage spans (set by GNNFramework.fit).
+        self.profiler = None
         self.input_proj = None
         if combiner in ("gru", "sum"):
             # Width-preserving combiners need the input already at the
@@ -76,6 +81,11 @@ class _GNNEncoder(Module):
         ]
         self.kmax = kmax
 
+    def _stage(self, name: str):
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.stage(name)
+
     def forward(self, features: Tensor, hop_tables: "list[np.ndarray]") -> Tensor:
         """Embed all n vertices given per-hop sampled neighbor id tables.
 
@@ -86,10 +96,13 @@ class _GNNEncoder(Module):
         for k in range(self.kmax):
             table = hop_tables[k]
             n, fanout = table.shape
-            neigh = h.gather_rows(table.reshape(-1))  # (n*fanout, d)
-            h_neigh = self.aggregators[k](neigh, fanout)
-            h = self.combiners[k](h, h_neigh)
-            h = F.l2_normalize(h)  # Algorithm 1 line 7
+            with self._stage("materialize"):
+                neigh = h.gather_rows(table.reshape(-1))  # (n*fanout, d)
+            with self._stage("aggregate"):
+                h_neigh = self.aggregators[k](neigh, fanout)
+            with self._stage("combine"):
+                h = self.combiners[k](h, h_neigh)
+                h = F.l2_normalize(h)  # Algorithm 1 line 7
         return h
 
 
@@ -110,6 +123,11 @@ class GNNFramework(EmbeddingModel):
     sampler:
         Neighborhood sampler plugin: ``uniform``, ``weighted``, ``topk`` or
         ``importance``.
+    profiler:
+        Optional :class:`~repro.runtime.tracing.StageProfiler`; when set,
+        every training step is bucketed into sample / materialize /
+        aggregate / combine / backward / optimizer stage spans and
+        histograms (``profiler.render()`` shows which stage dominates).
     """
 
     name = "gnn-framework"
@@ -132,6 +150,7 @@ class GNNFramework(EmbeddingModel):
         early_stop_patience: int = 0,
         early_stop_min_delta: float = 1e-3,
         seed: int = 0,
+        profiler: "object | None" = None,
     ) -> None:
         if kmax < 1:
             raise TrainingError(f"kmax must be >= 1, got {kmax}")
@@ -154,6 +173,7 @@ class GNNFramework(EmbeddingModel):
         self.early_stop_patience = early_stop_patience
         self.early_stop_min_delta = early_stop_min_delta
         self.seed = seed
+        self.profiler = profiler
         self.stopped_early = False
         self._embeddings: np.ndarray | None = None
         self.loss_history: list[float] = []
@@ -195,6 +215,8 @@ class GNNFramework(EmbeddingModel):
 
     def fit(self, graph: Graph) -> "GNNFramework":
         rng = make_rng(self.seed)
+        prof = self.profiler
+        stage = prof.stage if prof is not None else (lambda name: nullcontext())
         features = self._features(graph)
         sampler = self._make_sampler(graph)
         encoder = _GNNEncoder(
@@ -206,12 +228,14 @@ class GNNFramework(EmbeddingModel):
             combiner=self.combiner,
             rng=rng,
         )
+        encoder.profiler = prof
         self._encoder = encoder
         optimizer = Adam(encoder.parameters(), lr=self.lr)
         edge_sampler = EdgeTraverseSampler(graph)
         neg_sampler = DegreeBiasedNegativeSampler(graph)
         feat_tensor = Tensor(features)
-        hop_tables = self._sample_hop_tables(graph, sampler, rng)
+        with stage("sample"):
+            hop_tables = self._sample_hop_tables(graph, sampler, rng)
 
         steps = min(self.max_steps_per_epoch, max(1, graph.n_edges // self.batch_size))
         self.loss_history = []
@@ -220,18 +244,25 @@ class GNNFramework(EmbeddingModel):
         stall = 0
         for epoch in range(self.epochs):
             if self.resample_each_epoch and epoch > 0:
-                hop_tables = self._sample_hop_tables(graph, sampler, rng)
+                with stage("sample"):
+                    hop_tables = self._sample_hop_tables(graph, sampler, rng)
             epoch_losses = []
             for _ in range(steps):
-                src, dst = edge_sampler.sample(self.batch_size, rng)
-                negs = neg_sampler.sample(src, self.neg_num, rng).reshape(-1)
-                optimizer.zero_grad()
-                h = encoder(feat_tensor, hop_tables)
-                loss = skipgram_negative_loss(
-                    h.gather_rows(src), h.gather_rows(dst), h.gather_rows(negs)
-                )
-                loss.backward()
-                optimizer.step()
+                with prof.step() if prof is not None else nullcontext():
+                    with stage("sample"):
+                        src, dst = edge_sampler.sample(self.batch_size, rng)
+                        negs = neg_sampler.sample(
+                            src, self.neg_num, rng
+                        ).reshape(-1)
+                    optimizer.zero_grad()
+                    h = encoder(feat_tensor, hop_tables)
+                    loss = skipgram_negative_loss(
+                        h.gather_rows(src), h.gather_rows(dst), h.gather_rows(negs)
+                    )
+                    with stage("backward"):
+                        loss.backward()
+                    with stage("optimizer"):
+                        optimizer.step()
                 epoch_losses.append(loss.item())
             epoch_loss = float(np.mean(epoch_losses))
             self.loss_history.append(epoch_loss)

@@ -2,12 +2,14 @@
 
 Commands
 --------
-``dataset``       generate a named synthetic dataset and save it as ``.npz``
-``train``         fit a model on a dataset and save the embeddings
-``evaluate``      link-prediction evaluation of saved embeddings
-``info``          print a dataset's summary statistics
-``runtime-demo``  sampled workload through the RPC runtime with faults on
-``fault-matrix``  availability sweep {drop rate x failed workers x cache}
+``dataset``         generate a named synthetic dataset and save it as ``.npz``
+``train``           fit a model on a dataset and save the embeddings
+``evaluate``        link-prediction evaluation of saved embeddings
+``info``            print a dataset's summary statistics
+``runtime-demo``    sampled workload through the RPC runtime with faults on
+``fault-matrix``    availability sweep {drop rate x failed workers x cache}
+``trace``           traced sampling workload -> Chrome trace JSON (Perfetto)
+``metrics-report``  sampled workload -> Prometheus text exposition
 
 The CLI covers the adopt-and-script path: generate once, train many models
 against the same artifact, compare evaluations — without writing Python.
@@ -81,19 +83,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hide this edge fraction before training (for later evaluate)",
     )
 
+    def _add_workload_args(p, drop_rate: float) -> None:
+        """Shared knobs of the sampled-workload subcommands."""
+        p.add_argument("--workers", type=int, default=4)
+        p.add_argument("--scale", type=float, default=0.2)
+        p.add_argument("--steps", type=int, default=5)
+        p.add_argument("--batch-size", type=int, default=64)
+        p.add_argument("--drop-rate", type=float, default=drop_rate)
+        p.add_argument("--timeout-rate", type=float, default=0.05)
+        p.add_argument("--slow-workers", type=int, default=1,
+                       help="number of 3x-slower servers")
+        p.add_argument("--seed", type=int, default=0)
+
     p_rt = sub.add_parser(
         "runtime-demo",
         help="run a sampled workload through the RPC runtime and print metrics",
     )
-    p_rt.add_argument("--workers", type=int, default=4)
-    p_rt.add_argument("--scale", type=float, default=0.2)
-    p_rt.add_argument("--steps", type=int, default=5)
-    p_rt.add_argument("--batch-size", type=int, default=64)
-    p_rt.add_argument("--drop-rate", type=float, default=0.1)
-    p_rt.add_argument("--timeout-rate", type=float, default=0.05)
-    p_rt.add_argument("--slow-workers", type=int, default=1,
-                      help="number of 3x-slower servers")
-    p_rt.add_argument("--seed", type=int, default=0)
+    _add_workload_args(p_rt, drop_rate=0.1)
+
+    p_tc = sub.add_parser(
+        "trace",
+        help="trace a sampled workload and write Chrome trace JSON (Perfetto)",
+    )
+    _add_workload_args(p_tc, drop_rate=0.0)
+    p_tc.add_argument(
+        "--output", default="trace.json",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+
+    p_mr = sub.add_parser(
+        "metrics-report",
+        help="run a sampled workload and export Prometheus text exposition",
+    )
+    _add_workload_args(p_mr, drop_rate=0.1)
+    p_mr.add_argument(
+        "--output", default=None,
+        help="write the exposition here instead of stdout",
+    )
 
     p_fm = sub.add_parser(
         "fault-matrix",
@@ -171,7 +197,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_runtime_demo(args: argparse.Namespace) -> int:
+def _run_sampled_workload(args: argparse.Namespace, tracer: "object | None" = None):
+    """Build the demo store + pipeline and drive ``args.steps`` batches.
+
+    The shared workload under ``runtime-demo``, ``trace`` and
+    ``metrics-report``: a 2-hop (10x5) GraphSAGE-style sampling loop over
+    ``taobao-small-sim`` with the importance cache and seeded fault
+    injection. Returns ``(graph, store, runtime, pipeline)``.
+    """
     from repro.data import make_dataset as _make
     from repro.runtime import FaultPlan, RpcRuntime
     from repro.sampling import (
@@ -184,7 +217,6 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
     from repro.storage import ImportanceCachePolicy
     from repro.storage.cluster import make_store
     from repro.utils.rng import make_rng
-    from repro.utils.tables import format_table
 
     graph = _make("taobao-small-sim", scale=args.scale, seed=args.seed)
     store = make_store(
@@ -195,16 +227,16 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     slow = frozenset(range(1, min(1 + args.slow_workers, args.workers)))
-    runtime = RpcRuntime(
-        store,
-        faults=FaultPlan(
+    faults = None
+    if args.drop_rate > 0 or args.timeout_rate > 0 or slow:
+        faults = FaultPlan(
             drop_rate=args.drop_rate,
             timeout_rate=args.timeout_rate,
             slow_parts=slow,
             slow_factor=3.0,
             seed=args.seed,
-        ),
-    )
+        )
+    runtime = RpcRuntime(store, faults=faults, tracer=tracer)
     store.attach_runtime(runtime)
     pipeline = SamplingPipeline(
         traverse=VertexTraverseSampler(graph, vertex_type="user"),
@@ -213,11 +245,18 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
         hop_nums=[10, 5],
         neg_num=5,
         metrics=runtime.metrics,
+        tracer=tracer,
     )
     rng = make_rng(args.seed)
     for _ in range(args.steps):
         pipeline.sample(args.batch_size, rng)
+    return graph, store, runtime, pipeline
 
+
+def _cmd_runtime_demo(args: argparse.Namespace) -> int:
+    from repro.utils.tables import format_table
+
+    graph, store, runtime, _ = _run_sampled_workload(args)
     print(
         format_table(
             ["quantity", "value"],
@@ -237,6 +276,42 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
     print()
     print("cost ledger")
     print(store.ledger.summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.runtime import Tracer, write_chrome_trace
+
+    tracer = Tracer(seed=args.seed)
+    _, store, runtime, _ = _run_sampled_workload(args, tracer=tracer)
+    payload = write_chrome_trace(tracer, args.output)
+    traces = tracer.traces()
+    print(
+        f"wrote {args.output}: {len(payload['traceEvents'])} trace events, "
+        f"{len(traces)} traces, {len(tracer.ledger_rows)} ledger rows "
+        "correlated (open in https://ui.perfetto.dev)"
+    )
+    print()
+    print(tracer.render_tree(traces[0]))
+    if len(traces) > 1:
+        print(f"... and {len(traces) - 1} more traces in {args.output}")
+    return 0
+
+
+def _cmd_metrics_report(args: argparse.Namespace) -> int:
+    from repro.runtime import prometheus_text
+
+    _, store, runtime, _ = _run_sampled_workload(args)
+    text = prometheus_text(runtime.metrics)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        n_samples = sum(
+            1 for line in text.splitlines() if line and not line.startswith("#")
+        )
+        print(f"wrote {args.output}: {n_samples} samples in Prometheus text format")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -318,6 +393,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "evaluate": _cmd_evaluate,
         "runtime-demo": _cmd_runtime_demo,
         "fault-matrix": _cmd_fault_matrix,
+        "trace": _cmd_trace,
+        "metrics-report": _cmd_metrics_report,
     }
     try:
         return handlers[args.command](args)

@@ -13,7 +13,12 @@ simulation:
 * :mod:`repro.runtime.faults` — seeded drop/timeout/slow-server injection
   plus a capped-exponential-backoff retry policy;
 * :mod:`repro.runtime.metrics` — counters, gauges, latency histograms and
-  span timers behind one registry.
+  span timers behind one registry (with per-server / per-edge-type labels);
+* :mod:`repro.runtime.tracing` — deterministic trace/span infrastructure
+  over the whole read path, ledger<->trace correlation and the training
+  stage profiler;
+* :mod:`repro.runtime.export` — Chrome trace-event JSON (Perfetto) and
+  Prometheus text exposition.
 
 :class:`~repro.storage.cluster.DistributedGraphStore` routes its batch read
 entry points (``get_neighbors_batch`` / ``get_attrs_batch``) through an
@@ -21,6 +26,7 @@ entry points (``get_neighbors_batch`` / ``get_attrs_batch``) through an
 """
 
 from repro.runtime.batching import Batch, RequestBatcher
+from repro.runtime.export import chrome_trace, prometheus_text, write_chrome_trace
 from repro.runtime.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.runtime.health import (
     STATE_HEALTHY,
@@ -43,10 +49,25 @@ from repro.runtime.rpc import (
     RpcRuntime,
     VirtualClock,
 )
+from repro.runtime.tracing import (
+    NULL_TRACER,
+    TRAIN_STAGES,
+    Span,
+    StageProfiler,
+    Tracer,
+)
 
 __all__ = [
     "Batch",
     "RequestBatcher",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "StageProfiler",
+    "TRAIN_STAGES",
+    "chrome_trace",
+    "prometheus_text",
+    "write_chrome_trace",
     "FaultInjector",
     "FaultPlan",
     "RetryPolicy",

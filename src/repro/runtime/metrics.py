@@ -6,9 +6,17 @@ this module provides the same three primitives plus span-style timers, all
 behind a single :class:`MetricsRegistry` that the runtime, the distributed
 store and the sampling pipeline share.
 
+Metrics may carry **labels** (``counter("server.served", labels={"part":
+"2"})``): each label set is its own time series under one family name,
+which is how the per-server and per-edge-type breakdowns export to
+Prometheus (:mod:`repro.runtime.export`).
+
 Everything is plain Python and deterministic: histograms keep their raw
 observations (the simulation's scales are small), so percentiles are exact
-and two runs with the same seed produce bit-identical summaries.
+— and with a bound :class:`~repro.runtime.rpc.VirtualClock`
+(:meth:`MetricsRegistry.bind_clock`) span timers measure simulated
+microseconds, so two runs with the same seed produce bit-identical
+summaries. Wall-clock is the explicit fallback for non-simulated paths.
 """
 
 from __future__ import annotations
@@ -19,6 +27,21 @@ from dataclasses import dataclass, field
 
 from repro.utils.tables import format_table
 
+#: Frozen ``((key, value), ...)`` form of a label dict.
+LabelSet = "tuple[tuple[str, str], ...] | None"
+
+
+def _freeze_labels(labels: "dict[str, object] | None") -> "LabelSet":
+    if not labels:
+        return None
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _series_key(name: str, labels: "LabelSet") -> str:
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
 
 @dataclass
 class Counter:
@@ -26,6 +49,7 @@ class Counter:
 
     name: str
     value: int = 0
+    labels: "LabelSet" = None
 
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (must be non-negative) to the counter."""
@@ -41,11 +65,28 @@ class Gauge:
     name: str
     value: float = 0.0
     high_water: float = 0.0
+    labels: "LabelSet" = None
 
     def set(self, value: float) -> None:
         """Set the current value, updating the high-water mark."""
         self.value = float(value)
         self.high_water = max(self.high_water, self.value)
+
+    def add(self, delta: float) -> None:
+        """Shift the current value by ``delta`` (may be negative).
+
+        Call-site sugar so queue-depth style gauges never hand-roll the
+        read-modify-write ``set(g.value + 1)`` pattern.
+        """
+        self.set(self.value + float(delta))
+
+    def inc(self, n: float = 1.0) -> None:
+        """Increase the value by ``n``."""
+        self.add(n)
+
+    def dec(self, n: float = 1.0) -> None:
+        """Decrease the value by ``n``."""
+        self.add(-n)
 
 
 @dataclass
@@ -54,6 +95,7 @@ class Histogram:
 
     name: str
     samples: list = field(default_factory=list)
+    labels: "LabelSet" = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -111,37 +153,88 @@ class SpanTimer:
 
 
 class MetricsRegistry:
-    """Get-or-create registry of counters, gauges and histograms."""
+    """Get-or-create registry of counters, gauges and histograms.
+
+    Each ``(name, labels)`` pair is one independent series; the optional
+    ``labels`` dict is frozen into the metric for exporters to render.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._clock: "object | None" = None
 
-    def counter(self, name: str) -> Counter:
-        """The counter named ``name`` (created on first use)."""
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+    def bind_clock(self, clock: "object | None") -> None:
+        """Default clock for :meth:`timer` (None unbinds -> wall-clock).
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge named ``name`` (created on first use)."""
-        if name not in self._gauges:
-            self._gauges[name] = Gauge(name)
-        return self._gauges[name]
+        The RPC runtime binds its :class:`~repro.runtime.rpc.VirtualClock`
+        here so every span timer sharing its registry — the sampling
+        pipeline's stage spans included — measures deterministic simulated
+        microseconds instead of wall-clock.
+        """
+        self._clock = clock
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram named ``name`` (created on first use)."""
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
-        return self._histograms[name]
+    def counter(
+        self, name: str, labels: "dict[str, object] | None" = None
+    ) -> Counter:
+        """The counter series ``(name, labels)`` (created on first use)."""
+        frozen = _freeze_labels(labels)
+        key = _series_key(name, frozen)
+        if key not in self._counters:
+            self._counters[key] = Counter(name, labels=frozen)
+        return self._counters[key]
+
+    def gauge(
+        self, name: str, labels: "dict[str, object] | None" = None
+    ) -> Gauge:
+        """The gauge series ``(name, labels)`` (created on first use)."""
+        frozen = _freeze_labels(labels)
+        key = _series_key(name, frozen)
+        if key not in self._gauges:
+            self._gauges[key] = Gauge(name, labels=frozen)
+        return self._gauges[key]
+
+    def histogram(
+        self, name: str, labels: "dict[str, object] | None" = None
+    ) -> Histogram:
+        """The histogram series ``(name, labels)`` (created on first use)."""
+        frozen = _freeze_labels(labels)
+        key = _series_key(name, frozen)
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(name, labels=frozen)
+        return self._histograms[key]
+
+    def counters(self) -> "list[Counter]":
+        """All counter series, ordered by series key."""
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> "list[Gauge]":
+        """All gauge series, ordered by series key."""
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> "list[Histogram]":
+        """All histogram series, ordered by series key."""
+        return [self._histograms[k] for k in sorted(self._histograms)]
 
     def timer(self, name: str, clock: "object | None" = None) -> SpanTimer:
-        """A span timer feeding the histogram named ``name``."""
-        return SpanTimer(self.histogram(name), clock=clock)
+        """A span timer feeding the histogram named ``name``.
+
+        An explicit ``clock`` wins; otherwise the registry's bound clock
+        (see :meth:`bind_clock`); otherwise wall-clock.
+        """
+        return SpanTimer(
+            self.histogram(name),
+            clock=clock if clock is not None else self._clock,
+        )
 
     def reset(self) -> None:
-        """Drop every metric (names are forgotten, not just zeroed)."""
+        """Drop every metric (names are forgotten, not just zeroed).
+
+        Benchmark harnesses that re-create stores inside one process call
+        this between runs so series from a previous configuration cannot
+        leak into the next report. The bound clock is kept.
+        """
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()

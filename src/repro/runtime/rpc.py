@@ -38,6 +38,7 @@ from repro.runtime.faults import (
 )
 from repro.runtime.health import HealthTracker
 from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.tracing import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.storage.cluster import DistributedGraphStore
@@ -149,6 +150,7 @@ class RpcRuntime:
         inbox_capacity: int = 1024,
         timeout_us: float = 500.0,
         max_batch_size: int = 0,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if timeout_us < 0:
             raise RuntimeConfigError(f"timeout_us must be >= 0, got {timeout_us}")
@@ -159,6 +161,12 @@ class RpcRuntime:
         self.store = store
         self.clock = VirtualClock()
         self.metrics = metrics or MetricsRegistry()
+        # Span timers sharing this registry (e.g. the sampling pipeline's
+        # stage spans) measure deterministic simulated time by default.
+        self.metrics.bind_clock(self.clock)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled and self.tracer.clock is None:
+            self.tracer.clock = self.clock
         self.health = health or HealthTracker(
             len(store.servers), metrics=self.metrics
         )
@@ -207,8 +215,7 @@ class RpcRuntime:
         self.inboxes[req.dst_part].push(req.req_id)
         self._seq += 1
         heapq.heappush(heap, (ready_us, self._seq, req))
-        depth_gauge = self.metrics.gauge(f"inbox.depth.part{req.dst_part}")
-        depth_gauge.set(len(self.inboxes[req.dst_part]))
+        self.metrics.gauge("inbox.depth", labels={"part": req.dst_part}).inc()
 
     def _serve(self, req: Request) -> "tuple[dict[int, np.ndarray], dict[int, bool], int]":
         """Execute ``req`` on its destination shard.
@@ -245,6 +252,13 @@ class RpcRuntime:
         """
         if not requests:
             return []
+        with self.tracer.span("rpc.execute", requests=len(requests)) as exec_span:
+            return self._execute(requests, exec_span)
+
+    def _execute(
+        self, requests: "list[Request]", exec_span: "object"
+    ) -> "list[Response]":
+        tracer = self.tracer
         heap: "list[tuple[float, int, Request]]" = []
         submit_us: "dict[int, float]" = {}
         responses: "dict[int, Response]" = {}
@@ -259,6 +273,7 @@ class RpcRuntime:
             ready_us, _, req = heapq.heappop(heap)
             self.clock.advance_to(ready_us)
             self.inboxes[req.dst_part].pop(req.req_id)
+            self.metrics.gauge("inbox.depth", labels={"part": req.dst_part}).dec()
             # Fail-stop membership is authoritative: a request addressed to
             # a worker the store has declared down fails immediately — no
             # retries (the server will never answer), no fault roll. The
@@ -266,6 +281,14 @@ class RpcRuntime:
             # runtime-level guarantee that a downed shard cannot serve.
             if req.dst_part in self.store.failed_workers:
                 self.metrics.counter("rpc.unreachable").inc()
+                tracer.record_span(
+                    "rpc.request",
+                    ready_us,
+                    ready_us,
+                    part=req.dst_part,
+                    kind=req.kind,
+                    outcome="unreachable",
+                )
                 responses[req.req_id] = Response(
                     req_id=req.req_id,
                     ok=False,
@@ -282,7 +305,17 @@ class RpcRuntime:
             if outcome != OUTCOME_OK:
                 self.health.record_failure(req.dst_part)
                 self.metrics.counter(f"rpc.{outcome}s").inc()
+                tracer.record_span(
+                    "rpc.attempt",
+                    ready_us,
+                    ready_us + self.timeout_us,
+                    part=req.dst_part,
+                    kind=req.kind,
+                    attempt=req.attempt,
+                    outcome=outcome,
+                )
                 if req.attempt >= self.retry.max_attempts:
+                    exec_span.event("rpc.retry_exhausted", req.dst_part)
                     responses[req.req_id] = Response(
                         req_id=req.req_id,
                         ok=False,
@@ -327,7 +360,19 @@ class RpcRuntime:
                 attempts=req.attempt,
             )
             self.metrics.counter("rpc.completed").inc()
-            self.metrics.counter(f"server.part{req.dst_part}.served").inc()
+            self.metrics.counter(
+                "server.served", labels={"part": req.dst_part}
+            ).inc()
             self.metrics.histogram("rpc.latency_us").observe(latency)
+            tracer.record_span(
+                "rpc.request",
+                ready_us,
+                done_us,
+                part=req.dst_part,
+                kind=req.kind,
+                vertices=len(req.vertices),
+                attempt=req.attempt,
+                latency_us=latency,
+            )
 
         return [responses[req.req_id] for req in requests]

@@ -43,8 +43,16 @@ class SamplingPipeline:
 
     When a :class:`~repro.runtime.metrics.MetricsRegistry` is supplied, each
     stage runs inside a span timer (``pipeline.traverse_us`` /
-    ``pipeline.neighborhood_us`` / ``pipeline.negative_us``) and the
-    ``pipeline.batches`` counter tracks produced batches.
+    ``pipeline.neighborhood_us`` / ``pipeline.negative_us``), the
+    ``pipeline.batches`` counter tracks produced batches and
+    ``pipeline.seeds`` counts sampled seeds labeled by the traverse
+    sampler's edge/vertex type. With a registry whose clock is bound to the
+    RPC runtime's virtual clock, the stage timers are deterministic.
+
+    When a :class:`~repro.runtime.tracing.Tracer` is supplied, every
+    :meth:`sample` call roots one trace (``pipeline.sample``) with one
+    child span per stage — the store, batcher and RPC spans opened further
+    down the read path nest under them.
     """
 
     def __init__(
@@ -55,6 +63,7 @@ class SamplingPipeline:
         hop_nums: "list[int]",
         neg_num: int,
         metrics: "object | None" = None,
+        tracer: "object | None" = None,
     ) -> None:
         check_batch_size(neg_num)
         self.traverse = traverse
@@ -63,22 +72,48 @@ class SamplingPipeline:
         self.hop_nums = list(hop_nums)
         self.neg_num = neg_num
         self.metrics = metrics
+        self.tracer = tracer
 
     def _span(self, name: str):
         if self.metrics is None:
             return nullcontext()
         return self.metrics.timer(name)
 
+    def _trace_span(self, name: str, **attrs: object):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
+
+    def _seed_type(self) -> str:
+        """Label value for per-type seed accounting (``edge_type`` label)."""
+        for attr in ("edge_type", "vertex_type"):
+            value = getattr(self.traverse, attr, None)
+            if value is not None:
+                return str(value)
+        return "any"
+
     def sample(self, batch_size: int, rng: np.random.Generator) -> TrainingBatch:
         """Produce one :class:`TrainingBatch` of ``batch_size`` seeds."""
-        with self._span("pipeline.traverse_us"):
-            vertices = self.traverse.sample(batch_size, rng)
-            if isinstance(vertices, tuple):  # edge traverse: use source endpoints
-                vertices = vertices[0]
-        with self._span("pipeline.neighborhood_us"):
-            context = self.neighborhood.sample(vertices, self.hop_nums, rng)
-        with self._span("pipeline.negative_us"):
-            negatives = self.negative.sample(vertices, self.neg_num, rng)
-        if self.metrics is not None:
-            self.metrics.counter("pipeline.batches").inc()
+        with self._trace_span(
+            "pipeline.sample", batch_size=batch_size, hop_nums=str(self.hop_nums)
+        ):
+            with self._trace_span("pipeline.traverse"), self._span(
+                "pipeline.traverse_us"
+            ):
+                vertices = self.traverse.sample(batch_size, rng)
+                if isinstance(vertices, tuple):  # edge traverse: source endpoints
+                    vertices = vertices[0]
+            with self._trace_span("pipeline.neighborhood"), self._span(
+                "pipeline.neighborhood_us"
+            ):
+                context = self.neighborhood.sample(vertices, self.hop_nums, rng)
+            with self._trace_span("pipeline.negative"), self._span(
+                "pipeline.negative_us"
+            ):
+                negatives = self.negative.sample(vertices, self.neg_num, rng)
+            if self.metrics is not None:
+                self.metrics.counter("pipeline.batches").inc()
+                self.metrics.counter(
+                    "pipeline.seeds", labels={"edge_type": self._seed_type()}
+                ).inc(batch_size)
         return TrainingBatch(vertices=vertices, context=context, negatives=negatives)

@@ -38,6 +38,7 @@ class VertexTraverseSampler(Sampler):
         if weighting not in ("uniform", "degree"):
             raise SamplingError(f"unknown weighting {weighting!r}")
         self.graph = graph
+        self.vertex_type = vertex_type
         if vertices is not None:
             self._pool = np.asarray(vertices, dtype=np.int64)
         elif vertex_type is not None:
@@ -87,6 +88,7 @@ class EdgeTraverseSampler(Sampler):
         weighted: bool = False,
     ) -> None:
         super().__init__()
+        self.edge_type = edge_type
         src, dst, w = graph.edge_array()
         if edge_type is not None:
             if not isinstance(graph, AttributedHeterogeneousGraph):

@@ -184,11 +184,18 @@ class DistributedGraphStore:
     # behaviour.
     # ------------------------------------------------------------------ #
     def attach_runtime(self, runtime: RpcRuntime) -> None:
-        """Install the RPC runtime mediating this store's batched reads."""
+        """Install the RPC runtime mediating this store's batched reads.
+
+        A runtime carrying an enabled tracer is bound to the cost ledger:
+        every ledger event recorded while a trace span is open is stamped
+        with that span's ids (the ledger<->trace cross-reference).
+        """
         if runtime.store is not self:
             raise StorageError("runtime was constructed for a different store")
         self.runtime = runtime
         self._batcher.max_batch_size = runtime.max_batch_size
+        if runtime.tracer.enabled:
+            runtime.tracer.bind_ledger(self.ledger)
 
     def _ensure_runtime(self) -> RpcRuntime:
         """The attached runtime, creating a fault-free default on first use."""
@@ -256,6 +263,22 @@ class DistributedGraphStore:
         if from_part in self._failed:
             raise StorageError(f"issuing worker {from_part} is down")
         runtime = self._ensure_runtime()
+        with runtime.tracer.span(
+            "store.resolve_read", kind=kind, issuer=from_part
+        ) as read_span:
+            results = self._resolve_read_traced(
+                kind, vertices, from_part, runtime, read_span
+            )
+        return results
+
+    def _resolve_read_traced(
+        self,
+        kind: str,
+        vertices: "np.ndarray | list[int]",
+        from_part: int,
+        runtime: RpcRuntime,
+        read_span: "object",
+    ) -> "dict[int, np.ndarray]":
         health = runtime.health
         issuer = self.servers[from_part]
         demand_fill = (
@@ -312,9 +335,14 @@ class DistributedGraphStore:
                     continue
             remote_reads.append((v, owner))
 
+        read_span.annotate(
+            vertices=len(seen), resolved_local=len(results), remote=len(remote_reads)
+        )
         if not remote_reads:
             return results
-        batches = self._batcher.plan(kind, remote_reads)
+        with runtime.tracer.span("batch.plan", kind=kind) as plan_span:
+            batches = self._batcher.plan(kind, remote_reads)
+            plan_span.annotate(reads=len(remote_reads), batches=len(batches))
         requests = [
             runtime.make_request(b.kind, from_part, b.dst_part, b.vertices)
             for b in batches

@@ -55,16 +55,25 @@ class CostAccumulator:
     ``costs`` maps event name -> cost in *microseconds per event*; events
     without a price contribute zero time but are still counted (useful for
     pure bookkeeping like ``bytes_sent``).
+
+    ``trace_hook`` is the tracing layer's tap: when set (see
+    :meth:`repro.runtime.tracing.Tracer.bind_ledger`) every recorded event
+    is also stamped onto the active trace span, giving each ledger row a
+    ``(trace_id, span_id)`` cross-reference. Untraced runs pay one ``is
+    None`` check per record.
     """
 
     costs: dict[str, float] = field(default_factory=dict)
     counts: Counter = field(default_factory=Counter)
+    trace_hook: "object | None" = field(default=None, repr=False, compare=False)
 
     def record(self, event: str, times: int = 1) -> None:
         """Record ``times`` occurrences of ``event``."""
         if times < 0:
             raise ValueError(f"cannot record a negative count: {times}")
         self.counts[event] += times
+        if self.trace_hook is not None:
+            self.trace_hook(event, times)
 
     def count(self, event: str) -> int:
         """Occurrences recorded for ``event`` so far."""

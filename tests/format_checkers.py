@@ -1,0 +1,181 @@
+"""Format validators for the observability exporters.
+
+Two checkers, each returning a list of human-readable problems (empty list
+means the payload is valid):
+
+* :func:`check_prometheus_text` — Prometheus text exposition format 0.0.4
+  (the subset :func:`repro.runtime.export.prometheus_text` emits: HELP/TYPE
+  headers, counters, gauges and summaries);
+* :func:`check_chrome_trace` — Chrome trace-event JSON object format (the
+  subset Perfetto needs to load a trace: ``traceEvents`` with complete
+  ``"X"`` and instant ``"i"`` events).
+
+Also runnable as a script (used by CI)::
+
+    python tests/format_checkers.py smoke-metrics.prom smoke-trace.json
+
+Files ending in ``.json`` are checked as Chrome traces, everything else as
+Prometheus text. Exits non-zero and prints the problems when any file fails.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def check_prometheus_text(text: str) -> "list[str]":
+    """Validate Prometheus text exposition; returns a list of problems."""
+    problems: list[str] = []
+    if not text:
+        return ["payload is empty"]
+    if not text.endswith("\n"):
+        problems.append("payload must end with a newline")
+    typed: dict[str, str] = {}
+    seen_samples: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _METRIC_NAME.match(parts[2]):
+                problems.append(f"line {lineno}: malformed HELP line: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _METRIC_NAME.match(parts[2]):
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            if parts[3] not in _TYPES:
+                problems.append(
+                    f"line {lineno}: unknown metric type {parts[3]!r}"
+                )
+                continue
+            if parts[2] in typed:
+                problems.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            problems.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        base = _summary_base(name, typed)
+        if base not in typed:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+        labels = m.group("labels")
+        if labels:
+            for pair in labels.split(","):
+                if "=" not in pair:
+                    problems.append(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+                    continue
+                lname, _, lvalue = pair.partition("=")
+                if not _LABEL_NAME.match(lname):
+                    problems.append(
+                        f"line {lineno}: bad label name {lname!r}"
+                    )
+                if not (lvalue.startswith('"') and lvalue.endswith('"')):
+                    problems.append(
+                        f"line {lineno}: unquoted label value {lvalue!r}"
+                    )
+        try:
+            float(m.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric value {m.group('value')!r}"
+            )
+        key = f"{name}{{{labels or ''}}}"
+        if key in seen_samples:
+            problems.append(f"line {lineno}: duplicate sample {key}")
+        seen_samples.add(key)
+    if not typed:
+        problems.append("no # TYPE lines found")
+    return problems
+
+
+def _summary_base(name: str, typed: "dict[str, str]") -> str:
+    """Resolve ``foo_sum`` / ``foo_count`` back to the declared family."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        base = name[: -len(suffix)] if name.endswith(suffix) else None
+        if base and typed.get(base) in ("summary", "histogram"):
+            return base
+    return name
+
+
+_REQUIRED_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+def check_chrome_trace(payload: "dict | str") -> "list[str]":
+    """Validate a Chrome trace-event JSON object; returns problems."""
+    problems: list[str] = []
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object (object trace format)"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = _REQUIRED_EVENT_KEYS - set(ev)
+        if missing:
+            problems.append(f"event {i}: missing keys {sorted(missing)}")
+            continue
+        ph = ev["ph"]
+        if ph not in ("X", "i", "B", "E", "M", "C"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            problems.append(f"event {i}: bad ts {ev['ts']!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: complete event needs dur >= 0")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g", None):
+            problems.append(f"event {i}: bad instant scope {ev.get('s')!r}")
+    return problems
+
+
+def _check_file(path: str) -> "list[str]":
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    if path.endswith(".json"):
+        return check_chrome_trace(text)
+    return check_prometheus_text(text)
+
+
+if __name__ == "__main__":
+    import sys
+
+    failed = False
+    for target in sys.argv[1:]:
+        errors = _check_file(target)
+        if errors:
+            failed = True
+            print(f"{target}: INVALID")
+            for err in errors:
+                print(f"  - {err}")
+        else:
+            print(f"{target}: ok")
+    sys.exit(1 if failed else 0)

@@ -113,3 +113,73 @@ def test_runtime_demo_prints_metrics_and_ledger(capsys):
     assert "pipeline.neighborhood_us" in out
     assert "cost ledger" in out
     assert "remote_rpc" in out and "TOTAL" in out
+
+
+def test_fault_matrix_sweep(capsys):
+    code = main(
+        ["fault-matrix", "--scale", "0.1", "--workers", "3",
+         "--drop-rates", "0.0", "0.2", "--failed-workers", "0",
+         "--policies", "none", "lru", "--batches", "1",
+         "--batch-size", "32", "--seed", "7"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault matrix" in out
+    assert "lru" in out and "none" in out
+    code = main(["fault-matrix", "--scale", "0.1", "--policies", "bogus"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_trace_writes_perfetto_loadable_json(tmp_path, capsys):
+    import json
+
+    from tests.format_checkers import check_chrome_trace
+
+    out_path = str(tmp_path / "trace.json")
+    code = main(
+        ["trace", "--scale", "0.1", "--steps", "2", "--workers", "3",
+         "--seed", "0", "--output", out_path]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace events" in out and "ledger rows" in out
+    assert "pipeline.sample" in out  # the rendered span tree
+    with open(out_path, encoding="utf-8") as f:
+        payload = json.load(f)
+    assert check_chrome_trace(payload) == []
+    assert payload["otherData"]["n_traces"] == 2
+    names = {ev["name"] for ev in payload["traceEvents"]}
+    assert {"pipeline.sample", "store.resolve_read", "rpc.execute"} <= names
+
+
+def test_trace_is_deterministic_across_invocations(tmp_path):
+    paths = [str(tmp_path / f"t{i}.json") for i in range(2)]
+    for path in paths:
+        assert main(
+            ["trace", "--scale", "0.1", "--steps", "2", "--seed", "5",
+             "--output", path]
+        ) == 0
+    with open(paths[0], encoding="utf-8") as a, open(paths[1], encoding="utf-8") as b:
+        assert a.read() == b.read()
+
+
+def test_metrics_report_emits_valid_prometheus_text(tmp_path, capsys):
+    from tests.format_checkers import check_prometheus_text
+
+    out_path = str(tmp_path / "metrics.prom")
+    code = main(
+        ["metrics-report", "--scale", "0.1", "--steps", "2", "--workers", "3",
+         "--drop-rate", "0.1", "--seed", "0", "--output", out_path]
+    )
+    assert code == 0
+    assert "samples in Prometheus text format" in capsys.readouterr().out
+    with open(out_path, encoding="utf-8") as f:
+        text = f.read()
+    assert check_prometheus_text(text) == []
+    assert "# TYPE rpc_completed counter" in text
+    assert 'server_served{part=' in text
+    # Without --output the exposition goes to stdout.
+    assert main(["metrics-report", "--scale", "0.1", "--steps", "1"]) == 0
+    stdout = capsys.readouterr().out
+    assert check_prometheus_text(stdout) == []

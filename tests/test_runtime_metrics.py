@@ -76,6 +76,53 @@ def test_span_timer_wall_clock():
     assert reg.histogram("span_us").samples[0] >= 0.0
 
 
+def test_gauge_add_inc_dec():
+    g = MetricsRegistry().gauge("queue")
+    g.inc()
+    g.inc(2)
+    assert g.value == 3.0
+    g.dec()
+    assert g.value == 2.0
+    g.add(-2)
+    assert g.value == 0.0
+    assert g.high_water == 3.0
+
+
+def test_labeled_metrics_are_distinct_series():
+    reg = MetricsRegistry()
+    reg.counter("served", labels={"part": 0}).inc(2)
+    reg.counter("served", labels={"part": 1}).inc(5)
+    assert reg.counter("served", labels={"part": 0}).value == 2
+    assert reg.counter("served", labels={"part": 1}).value == 5
+    assert reg.counter("served").value == 0  # unlabeled is its own series
+    # Label order does not matter: one frozen series per set.
+    g1 = reg.gauge("depth", labels={"a": 1, "b": 2})
+    g2 = reg.gauge("depth", labels={"b": 2, "a": 1})
+    assert g1 is g2
+    labeled = [c for c in reg.counters() if c.labels]
+    assert len(labeled) == 2
+
+
+def test_registry_bind_clock_drives_timers():
+    reg = MetricsRegistry()
+    clock = VirtualClock()
+    reg.bind_clock(clock)
+    with reg.timer("span_us"):
+        clock.advance(42.0)
+    assert reg.histogram("span_us").samples == [42.0]
+    # An explicit clock wins over the bound one.
+    other = VirtualClock()
+    with reg.timer("span_us", clock=other):
+        other.advance(7.0)
+        clock.advance(1000.0)
+    assert reg.histogram("span_us").samples == [42.0, 7.0]
+    # reset() keeps the binding: benchmark reruns stay deterministic.
+    reg.reset()
+    with reg.timer("span_us"):
+        clock.advance(5.0)
+    assert reg.histogram("span_us").samples == [5.0]
+
+
 def test_registry_render_and_reset():
     reg = MetricsRegistry()
     reg.counter("a").inc(2)
@@ -106,7 +153,8 @@ def test_runtime_metrics_agree_with_cost_ledger():
     assert metrics.counter("rpc.retries").value == 0
     assert metrics.histogram("rpc.batch_size").count == completed
     served = sum(
-        metrics.counter(f"server.part{p}.served").value for p in range(4)
+        metrics.counter("server.served", labels={"part": p}).value
+        for p in range(4)
     )
     assert served == completed
     # Modelled latency floors at one RPC round trip.
