@@ -8,6 +8,7 @@ output capture.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 
@@ -16,19 +17,32 @@ from repro.bench import ExperimentReport
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def emit(report: ExperimentReport) -> None:
-    """Print the report and persist it under benchmarks/results/.
+def parse_bench_args(
+    description: str, argv: "list[str] | None" = None
+) -> argparse.Namespace:
+    """The shared command-line contract of every runnable benchmark.
 
-    Both a rendered ``.txt`` (human) and a ``.json`` (consumed by the
-    Figure 1 summary bench) are written.
+    ``--smoke`` asks for a reduced workload (CI-sized: fewer repeats /
+    steps, no strict acceptance assertions); ``--json`` additionally
+    prints the machine-readable payload to stdout so CI can capture it
+    without re-reading the results directory.
     """
-    rendered = report.render()
-    print("\n" + rendered + "\n")
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{report.experiment_id}.txt")
-    with open(path, "w", encoding="utf-8") as f:
-        f.write(rendered + "\n")
-    payload = {
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced CI-sized workload (skips strict acceptance checks)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the JSON payload to stdout",
+    )
+    return parser.parse_args(argv)
+
+
+def _payload(report: ExperimentReport) -> dict:
+    return {
         "experiment_id": report.experiment_id,
         "title": report.title,
         "records": [
@@ -36,12 +50,30 @@ def emit(report: ExperimentReport) -> None:
             for r in report.records
         ],
     }
+
+
+def emit(report: ExperimentReport, print_json: bool = False) -> None:
+    """Print the report and persist it under benchmarks/results/.
+
+    Both a rendered ``.txt`` (human) and a ``.json`` (consumed by the
+    Figure 1 summary bench) are written; ``print_json`` additionally
+    dumps the payload to stdout (the ``--json`` flag).
+    """
+    rendered = report.render()
+    print("\n" + rendered + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{report.experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(rendered + "\n")
+    payload = _payload(report)
     with open(
         os.path.join(RESULTS_DIR, f"{report.experiment_id}.json"),
         "w",
         encoding="utf-8",
     ) as f:
         json.dump(payload, f, indent=1)
+    if print_json:
+        print(json.dumps(payload, indent=1))
 
 
 def load_result(experiment_id: str) -> "dict | None":

@@ -1,0 +1,330 @@
+"""Overlapped sampling: prefetch makespan model + vectorized kernels.
+
+Three claims of the overlap PR, each measured on the canonical 2-hop
+sampling workload (fan-outs 10x5, 4 workers, importance cache):
+
+* **Overlap wins.** Per-batch sampling cost is measured off the cost
+  ledger (simulated microseconds, deterministic); per-batch compute cost
+  is modelled as ``context rows x COMPUTE_US_PER_ROW`` (the constant is
+  sanity-checked against a profiled GNN fit, reported alongside). The
+  bounded-buffer makespan model then prices depths 0/1/2/4/8 — the
+  acceptance bar is >= 1.5x at depth 2.
+* **Determinism survives.** A depth-2 run reproduces the depth-0 run's
+  per-batch sample costs and total ledger microseconds bit-for-bit: the
+  buffer changes *when* batches are produced, never *what* is produced.
+* **Vectorized kernels pay off in real time.** The array-backed
+  :class:`MaterializationCache` is raced against a dict-backed reference
+  implementing the pre-vectorization semantics (min-of-repeats
+  wall-clock), and the batched store read path's throughput is reported.
+
+Run ``python benchmarks/bench_prefetch_overlap.py [--smoke] [--json]``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.framework import GNNFramework
+from repro.bench import ExperimentReport
+from repro.data import make_dataset
+from repro.ops.materialize import MaterializationCache
+from repro.runtime import RpcRuntime, StageProfiler
+from repro.sampling import (
+    DegreeBiasedNegativeSampler,
+    PrefetchingPipeline,
+    SamplingPipeline,
+    StoreProvider,
+    UniformNeighborSampler,
+    VertexTraverseSampler,
+    overlap_report,
+    stage_costs,
+)
+from repro.storage import ImportanceCachePolicy
+from repro.storage.cluster import make_store
+from repro.utils.rng import make_rng
+
+from _common import emit, parse_bench_args
+
+N_WORKERS = 4
+HOP_NUMS = [10, 5]
+BATCH_SIZE = 64
+SEED = 7
+STEPS = 24
+SMOKE_STEPS = 6
+DEPTHS = (0, 1, 2, 4, 8)
+#: Modelled compute cost per materialized context row. Chosen at the
+#: simulation's cost scale (remote_rpc=100us, local_read=1us) to price a
+#: trainer whose step time is of the same order as its sampling time —
+#: the regime overlap targets; the measured GNN stage split is reported
+#: next to it as a sanity check.
+COMPUTE_US_PER_ROW = 0.18
+MIN_DEPTH2_SPEEDUP = 1.5
+
+_GRAPH = make_dataset("taobao-small-sim", scale=0.3, seed=0)
+
+
+@dataclass
+class _WorkloadRun:
+    """One prefetched pass over the sampled workload, with measurements."""
+
+    sample_us: "list[float]"
+    rows: "list[int]"
+    coalesced: int
+    ledger_us: float
+
+
+def _run_sampled(steps: int, depth: int) -> _WorkloadRun:
+    store = make_store(
+        _GRAPH,
+        N_WORKERS,
+        cache_policy=ImportanceCachePolicy(),
+        cache_budget_fraction=0.1,
+        seed=SEED,
+    )
+    runtime = RpcRuntime(store)
+    store.attach_runtime(runtime)
+    pipeline = SamplingPipeline(
+        traverse=VertexTraverseSampler(_GRAPH, vertex_type="user"),
+        neighborhood=UniformNeighborSampler(StoreProvider(store, from_part=0)),
+        negative=DegreeBiasedNegativeSampler(_GRAPH),
+        hop_nums=HOP_NUMS,
+        neg_num=5,
+    )
+    sample_us: "list[float]" = []
+    rows: "list[int]" = []
+
+    def produce(rng: np.random.Generator):
+        before = store.ledger.modelled_micros()
+        batch = pipeline.sample(BATCH_SIZE, rng)
+        sample_us.append(store.ledger.modelled_micros() - before)
+        rows.append(int(sum(layer.size for layer in batch.context.layers)))
+        return batch
+
+    prefetcher = PrefetchingPipeline(
+        produce,
+        depth,
+        frontier_of=lambda b: b.context.all_vertices(),
+        metrics=runtime.metrics,
+    )
+    rng = make_rng(SEED)
+    for _ in prefetcher.run(steps, rng):
+        pass
+    result = _WorkloadRun(
+        sample_us=sample_us,
+        rows=rows,
+        coalesced=prefetcher.coalesced,
+        ledger_us=store.ledger.modelled_micros(),
+    )
+    runtime.metrics.reset()
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Vectorized-kernel micro-bench: array cache vs the dict reference
+# --------------------------------------------------------------------- #
+class _DictMaterializationCache:
+    """Pre-vectorization reference: per-vertex dict membership + stack."""
+
+    def __init__(self, max_hop: int) -> None:
+        self._store: "list[dict[int, np.ndarray]]" = [
+            dict() for _ in range(max_hop + 1)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, hop, vertices):
+        store = self._store[hop]
+        mask = np.array([int(v) in store for v in vertices], dtype=bool)
+        self.hits += int(mask.sum())
+        self.misses += int((~mask).sum())
+        return mask, [int(v) for v in vertices[~mask]]
+
+    def get_rows(self, hop, vertices):
+        store = self._store[hop]
+        return np.stack([store[int(v)] for v in vertices])
+
+    def update(self, hop, vertices, values):
+        store = self._store[hop]
+        for v, row in zip(vertices, values):
+            store[int(v)] = row
+
+
+def _drive_cache(cache, n_vertices: int, dim: int, batches: "list[np.ndarray]"):
+    """The embed_batch_cached access pattern: lookup, fill misses, gather."""
+    values = np.ones((n_vertices, dim))
+    for batch in batches:
+        _, missing = cache.lookup(1, batch)
+        if missing:
+            miss = np.asarray(missing, dtype=np.int64)
+            cache.update(1, miss, values[miss])
+        cache.get_rows(1, batch)
+
+
+def _time_kernels(
+    repeats: int, n_vertices: int = 20_000, dim: int = 64, n_batches: int = 60
+) -> "tuple[float, float]":
+    """(dict_reference_s, vectorized_s), min of ``repeats`` wall-clocks."""
+    rng = make_rng(SEED)
+    batches = [
+        rng.integers(0, n_vertices, size=512).astype(np.int64)
+        for _ in range(n_batches)
+    ]
+    best_ref = best_vec = float("inf")
+    for _ in range(repeats):
+        ref = _DictMaterializationCache(1)
+        t0 = time.perf_counter()
+        _drive_cache(ref, n_vertices, dim, batches)
+        best_ref = min(best_ref, time.perf_counter() - t0)
+        vec = MaterializationCache(1)
+        t0 = time.perf_counter()
+        _drive_cache(vec, n_vertices, dim, batches)
+        best_vec = min(best_vec, time.perf_counter() - t0)
+    return best_ref, best_vec
+
+
+def _read_path_throughput(steps: int) -> "tuple[float, int]":
+    """(wall seconds, vertices resolved) for batched store reads."""
+    store = make_store(
+        _GRAPH,
+        N_WORKERS,
+        cache_policy=ImportanceCachePolicy(),
+        cache_budget_fraction=0.1,
+        seed=SEED,
+    )
+    store.attach_runtime(RpcRuntime(store))
+    rng = make_rng(SEED)
+    resolved = 0
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        batch = rng.integers(0, _GRAPH.n_vertices, size=2048).astype(np.int64)
+        resolved += len(store.get_neighbors_batch(batch, from_part=0))
+    return time.perf_counter() - t0, resolved
+
+
+def _measured_stage_split(smoke: bool) -> "tuple[float, float]":
+    """Per-step (sample_us, compute_us) from a profiled GNN fit."""
+    prof = StageProfiler()
+    GNNFramework(
+        dim=16,
+        epochs=1,
+        batch_size=64,
+        max_steps_per_epoch=2 if smoke else 4,
+        seed=SEED,
+        profiler=prof,
+        prefetch_depth=2,
+    ).fit(_GRAPH)
+    return stage_costs(prof)
+
+
+def _run(smoke: bool = False) -> ExperimentReport:
+    steps = SMOKE_STEPS if smoke else STEPS
+    repeats = 2 if smoke else 5
+    report = ExperimentReport(
+        "prefetch_overlap",
+        "Overlapped sampling: makespan model, determinism, vectorized "
+        f"kernels ({steps} batches of {BATCH_SIZE} seeds, fan-outs "
+        f"{HOP_NUMS})",
+    )
+
+    base = _run_sampled(steps, 0)
+    compute_us = [r * COMPUTE_US_PER_ROW for r in base.rows]
+    depth2_speedup = 0.0
+    for depth in DEPTHS:
+        rep = overlap_report(base.sample_us, compute_us, depth)
+        if depth == 2:
+            depth2_speedup = rep.speedup
+        report.add(
+            f"prefetch depth {depth}",
+            {
+                "makespan_ms": round(rep.makespan_us / 1e3, 2),
+                "speedup": round(rep.speedup, 2),
+            },
+        )
+
+    overlapped = _run_sampled(steps, 2)
+    identical = (
+        overlapped.sample_us == base.sample_us
+        and overlapped.ledger_us == base.ledger_us
+    )
+    report.add(
+        "determinism depth 2 vs 0",
+        {
+            "identical_costs": identical,
+            "ledger_ms": round(base.ledger_us / 1e3, 2),
+            "coalescable_reads": overlapped.coalesced,
+        },
+    )
+
+    sample_split, compute_split = _measured_stage_split(smoke)
+    report.add(
+        "measured GNN stage split",
+        {
+            "sample_us_per_step": round(sample_split, 1),
+            "compute_us_per_step": round(compute_split, 1),
+            "modelled_compute_us_per_batch": round(
+                float(np.mean(compute_us)), 1
+            ),
+        },
+    )
+
+    ref_s, vec_s = _time_kernels(repeats)
+    kernel_speedup = ref_s / vec_s if vec_s else 1.0
+    report.add(
+        "materialization cache kernels",
+        {
+            "dict_reference_ms": round(ref_s * 1e3, 2),
+            "vectorized_ms": round(vec_s * 1e3, 2),
+            "speedup": round(kernel_speedup, 2),
+        },
+    )
+
+    read_s, read_n = _read_path_throughput(4 if smoke else 12)
+    report.add(
+        "batched read path",
+        {
+            "vertices_resolved": read_n,
+            "kvertices_per_s": round(read_n / read_s / 1e3, 1),
+        },
+    )
+
+    report.note(
+        "sample costs are simulated (cost-ledger) microseconds, so the "
+        "overlap table and determinism row are exactly reproducible; "
+        "kernel timings are wall-clock min-of-repeats"
+    )
+    report.meta = {
+        "depth2_speedup": depth2_speedup,
+        "identical": identical,
+        "kernel_speedup": kernel_speedup,
+        "smoke": smoke,
+    }
+    return report
+
+
+def test_prefetch_overlap() -> None:
+    report = _run(smoke=False)
+    emit(report)
+    assert report.meta["identical"], "depth-2 run diverged from depth-0"
+    assert report.meta["depth2_speedup"] >= MIN_DEPTH2_SPEEDUP, (
+        f"depth-2 makespan speedup {report.meta['depth2_speedup']:.2f}x "
+        f"under the {MIN_DEPTH2_SPEEDUP}x bar"
+    )
+    assert report.meta["kernel_speedup"] > 1.0, (
+        "vectorized materialization cache slower than the dict reference"
+    )
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    args = parse_bench_args(__doc__.splitlines()[0], argv)
+    report = _run(smoke=args.smoke)
+    emit(report, print_json=args.json)
+    if not args.smoke:
+        assert report.meta["identical"]
+        assert report.meta["depth2_speedup"] >= MIN_DEPTH2_SPEEDUP
+
+
+if __name__ == "__main__":
+    main()

@@ -36,7 +36,7 @@ from repro.storage import ImportanceCachePolicy
 from repro.storage.cluster import make_store
 from repro.utils.rng import make_rng
 
-from _common import emit
+from _common import emit, parse_bench_args
 
 N_WORKERS = 4
 HOP_NUMS = [10, 5]
@@ -44,13 +44,15 @@ STEPS = 8
 BATCH_SIZE = 64
 SEED = 7
 REPEATS = 5
+SMOKE_STEPS = 3
+SMOKE_REPEATS = 2
 OVERHEAD_BUDGET = 0.02  # disabled tracing must stay within 2% of baseline
 
 # One graph for every run: dataset synthesis is not the thing under test.
 _GRAPH = make_dataset("taobao-small-sim", scale=0.3, seed=0)
 
 
-def _run_workload(tracer: "Tracer | None") -> "RpcRuntime":
+def _run_workload(tracer: "Tracer | None", steps: int = STEPS) -> "RpcRuntime":
     store = make_store(
         _GRAPH,
         N_WORKERS,
@@ -70,36 +72,40 @@ def _run_workload(tracer: "Tracer | None") -> "RpcRuntime":
         tracer=tracer,
     )
     rng = make_rng(SEED)
-    for _ in range(STEPS):
+    for _ in range(steps):
         pipeline.sample(BATCH_SIZE, rng)
     return runtime
 
 
-def _time_config(make_tracer) -> float:
+def _time_config(make_tracer, steps: int, repeats: int) -> float:
     """Min-of-repeats wall-clock seconds for one tracer configuration."""
     best = float("inf")
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         tracer = make_tracer()
         t0 = time.perf_counter()
-        runtime = _run_workload(tracer)
+        runtime = _run_workload(tracer, steps)
         best = min(best, time.perf_counter() - t0)
         # Shared-process hygiene: registries don't leak between runs.
         runtime.metrics.reset()
     return best
 
 
-def _run() -> ExperimentReport:
+def _run(smoke: bool = False) -> ExperimentReport:
+    steps = SMOKE_STEPS if smoke else STEPS
+    repeats = SMOKE_REPEATS if smoke else REPEATS
     report = ExperimentReport(
         "trace_overhead",
-        "Tracing overhead on the 2-hop sampling workload (min of "
-        f"{REPEATS} repeats)",
+        f"Tracing overhead on the 2-hop sampling workload (min of "
+        f"{repeats} repeats)",
     )
     # Warm up caches/imports so the first timed config isn't penalized.
-    _run_workload(None)
+    _run_workload(None, steps)
 
-    base_s = _time_config(lambda: None)
-    disabled_s = _time_config(lambda: Tracer(enabled=False, seed=SEED))
-    enabled_s = _time_config(lambda: Tracer(seed=SEED))
+    base_s = _time_config(lambda: None, steps, repeats)
+    disabled_s = _time_config(
+        lambda: Tracer(enabled=False, seed=SEED), steps, repeats
+    )
+    enabled_s = _time_config(lambda: Tracer(seed=SEED), steps, repeats)
 
     def row(seconds: float) -> dict:
         return {
@@ -112,7 +118,7 @@ def _run() -> ExperimentReport:
     report.add("tracer enabled", row(enabled_s))
 
     enabled_tracer = Tracer(seed=SEED)
-    runtime = _run_workload(enabled_tracer)
+    runtime = _run_workload(enabled_tracer, steps)
     report.add(
         "enabled trace volume",
         {
@@ -123,7 +129,7 @@ def _run() -> ExperimentReport:
     )
     runtime.metrics.reset()
     report.note(
-        f"{STEPS} pipeline batches of {BATCH_SIZE} seeds, fan-outs "
+        f"{steps} pipeline batches of {BATCH_SIZE} seeds, fan-outs "
         f"{HOP_NUMS}, {N_WORKERS} workers; acceptance bar: disabled "
         f"tracing within {OVERHEAD_BUDGET:.0%} of baseline"
     )
@@ -144,3 +150,13 @@ def test_trace_overhead(benchmark: "pytest.fixture") -> None:
     by_label = {r.label: r.measured for r in report.records}
     volume = by_label["enabled trace volume"]
     assert volume["spans"] > 0 and volume["ledger_rows"] > 0
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    args = parse_bench_args(__doc__.splitlines()[0], argv)
+    report = _run(smoke=args.smoke)
+    emit(report, print_json=args.json)
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ from repro.sampling.neighborhood import (
     WeightedNeighborSampler,
 )
 from repro.sampling.negative import DegreeBiasedNegativeSampler
+from repro.sampling.prefetch import PrefetchingPipeline
 from repro.sampling.traverse import EdgeTraverseSampler
 from repro.utils.rng import make_rng
 
@@ -128,6 +129,13 @@ class GNNFramework(EmbeddingModel):
         every training step is bucketed into sample / materialize /
         aggregate / combine / backward / optimizer stage spans and
         histograms (``profiler.render()`` shows which stage dominates).
+    prefetch_depth:
+        Training batches the sampling stage keeps buffered ahead of the
+        compute stage (0 = sample on demand, today's behaviour). Every
+        depth draws from the RNG in the identical order, so losses and
+        embeddings are bit-identical across depths; the buffer adds
+        cross-batch frontier overlap measurement
+        (``pipeline.coalesced``) and feeds the overlap makespan model.
     """
 
     name = "gnn-framework"
@@ -151,9 +159,14 @@ class GNNFramework(EmbeddingModel):
         early_stop_min_delta: float = 1e-3,
         seed: int = 0,
         profiler: "object | None" = None,
+        prefetch_depth: int = 0,
     ) -> None:
         if kmax < 1:
             raise TrainingError(f"kmax must be >= 1, got {kmax}")
+        if prefetch_depth < 0:
+            raise TrainingError(
+                f"prefetch_depth must be >= 0, got {prefetch_depth}"
+            )
         self.dim = dim
         self.kmax = kmax
         self.fanout = fanout
@@ -174,6 +187,8 @@ class GNNFramework(EmbeddingModel):
         self.early_stop_min_delta = early_stop_min_delta
         self.seed = seed
         self.profiler = profiler
+        self.prefetch_depth = prefetch_depth
+        self._prefetcher: "PrefetchingPipeline | None" = None
         self.stopped_early = False
         self._embeddings: np.ndarray | None = None
         self.loss_history: list[float] = []
@@ -242,18 +257,40 @@ class GNNFramework(EmbeddingModel):
         self.stopped_early = False
         best_loss = float("inf")
         stall = 0
+
+        def _draw_step(step_rng: np.random.Generator):
+            with stage("sample"):
+                src, dst = edge_sampler.sample(self.batch_size, step_rng)
+                negs = neg_sampler.sample(
+                    src, self.neg_num, step_rng
+                ).reshape(-1)
+            return src, dst, negs
+
+        # The prefetcher calls _draw_step strictly in step order with the
+        # same rng, so every depth consumes the RNG stream identically;
+        # depth 0 adds no buffering, metrics or frontier accounting at all
+        # (byte-for-byte today's behaviour).
+        self._prefetcher = PrefetchingPipeline(
+            _draw_step,
+            self.prefetch_depth,
+            frontier_of=(
+                (lambda b: np.concatenate(b)) if self.prefetch_depth else None
+            ),
+            metrics=(
+                prof.metrics
+                if (prof is not None and self.prefetch_depth)
+                else None
+            ),
+        )
         for epoch in range(self.epochs):
             if self.resample_each_epoch and epoch > 0:
                 with stage("sample"):
                     hop_tables = self._sample_hop_tables(graph, sampler, rng)
             epoch_losses = []
+            batch_iter = self._prefetcher.run(steps, rng)
             for _ in range(steps):
                 with prof.step() if prof is not None else nullcontext():
-                    with stage("sample"):
-                        src, dst = edge_sampler.sample(self.batch_size, rng)
-                        negs = neg_sampler.sample(
-                            src, self.neg_num, rng
-                        ).reshape(-1)
+                    src, dst, negs = next(batch_iter)
                     optimizer.zero_grad()
                     h = encoder(feat_tensor, hop_tables)
                     loss = skipgram_negative_loss(

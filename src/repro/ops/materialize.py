@@ -26,45 +26,119 @@ from repro.sampling.neighborhood import _ExpandingSampler
 
 
 class MaterializationCache:
-    """Per-hop store of the newest ``ĥ^(k)`` vector of each vertex."""
+    """Per-hop store of the newest ``ĥ^(k)`` vector of each vertex.
+
+    Array-backed: each hop holds a *sorted* int64 key array plus a
+    position array indexing into an append-only contiguous row buffer, so
+    lookups are one ``np.isin``, gathers one ``np.searchsorted`` + fancy
+    index, and updates overwrite existing rows in place / append new ones
+    (buffer grown geometrically) — no per-vertex Python dict traffic on
+    the training hot path, and no full-matrix rebuild per update.
+    """
 
     def __init__(self, max_hop: int) -> None:
         if max_hop < 1:
             raise OperatorError("materialization cache needs max_hop >= 1")
         self.max_hop = max_hop
-        self._store: list[dict[int, np.ndarray]] = [dict() for _ in range(max_hop + 1)]
+        self._keys: list[np.ndarray] = [
+            np.zeros(0, dtype=np.int64) for _ in range(max_hop + 1)
+        ]
+        self._pos: list[np.ndarray] = [
+            np.zeros(0, dtype=np.int64) for _ in range(max_hop + 1)
+        ]
+        self._buf: "list[np.ndarray | None]" = [None] * (max_hop + 1)
+        self._len: list[int] = [0] * (max_hop + 1)
         self.hits = 0
         self.misses = 0
 
     def lookup(self, hop: int, vertices: np.ndarray) -> tuple[np.ndarray, list[int]]:
         """Split ``vertices`` into (cached mask, missing list) for ``hop``."""
-        store = self._store[hop]
-        mask = np.array([int(v) in store for v in vertices], dtype=bool)
+        verts = np.asarray(vertices, dtype=np.int64)
+        keys = self._keys[hop]
+        if keys.size:
+            mask = np.isin(verts, keys)
+        else:
+            mask = np.zeros(verts.shape, dtype=bool)
         self.hits += int(mask.sum())
         self.misses += int((~mask).sum())
-        missing = [int(v) for v in vertices[~mask]]
+        missing = [int(v) for v in verts[~mask]]
         return mask, missing
 
     def get_rows(self, hop: int, vertices: np.ndarray) -> np.ndarray:
         """Stacked cached rows (every vertex must be present)."""
-        store = self._store[hop]
-        try:
-            return np.stack([store[int(v)] for v in vertices])
-        except KeyError as exc:
-            raise OperatorError(f"vertex {exc} not materialized at hop {hop}") from None
+        verts = np.asarray(vertices, dtype=np.int64)
+        keys = self._keys[hop]
+        if keys.size == 0:
+            if verts.size == 0:
+                raise OperatorError(f"nothing materialized at hop {hop}")
+            raise OperatorError(
+                f"vertex {int(verts.flat[0])} not materialized at hop {hop}"
+            )
+        idx = np.searchsorted(keys, verts)
+        idx_clipped = np.minimum(idx, keys.size - 1)
+        present = keys[idx_clipped] == verts
+        if not present.all():
+            first = verts[~present][0]
+            raise OperatorError(
+                f"vertex {int(first)} not materialized at hop {hop}"
+            )
+        return self._buf[hop][self._pos[hop][idx_clipped]]
 
     def update(self, hop: int, vertices: np.ndarray, values: np.ndarray) -> None:
         """Store/refresh the hop-``hop`` vectors of ``vertices``."""
         if len(vertices) != len(values):
             raise OperatorError("vertices/values length mismatch")
-        store = self._store[hop]
-        for v, row in zip(vertices, values):
-            store[int(v)] = row
+        verts = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        vals = np.asarray(values)
+        if verts.size == 0:
+            return
+        # Last write wins for repeated vertices, matching per-vertex dict
+        # assignment order: unique over the reversed array keeps each
+        # vertex's *last* occurrence.
+        uniq, rev_idx = np.unique(verts[::-1], return_index=True)
+        new_rows = vals[verts.size - 1 - rev_idx]
+        keys = self._keys[hop]
+        if self._buf[hop] is None:
+            cap = max(64, 2 * uniq.size)
+            self._buf[hop] = np.empty(
+                (cap,) + new_rows.shape[1:], dtype=new_rows.dtype
+            )
+        buf = self._buf[hop]
+        idx = np.searchsorted(keys, uniq)
+        idx_clipped = np.minimum(idx, max(keys.size - 1, 0))
+        present = (
+            (keys[idx_clipped] == uniq)
+            if keys.size
+            else np.zeros(uniq.shape, dtype=bool)
+        )
+        if present.any():
+            buf[self._pos[hop][idx_clipped[present]]] = new_rows[present]
+        absent = ~present
+        n_new = int(absent.sum())
+        if n_new:
+            used = self._len[hop]
+            if used + n_new > buf.shape[0]:
+                cap = max(2 * buf.shape[0], used + n_new)
+                grown = np.empty((cap,) + buf.shape[1:], dtype=buf.dtype)
+                grown[:used] = buf[:used]
+                self._buf[hop] = buf = grown
+            buf[used : used + n_new] = new_rows[absent]
+            ins = idx[absent]
+            self._keys[hop] = np.insert(keys, ins, uniq[absent])
+            self._pos[hop] = np.insert(
+                self._pos[hop],
+                ins,
+                np.arange(used, used + n_new, dtype=np.int64),
+            )
+            self._len[hop] = used + n_new
 
     def invalidate(self) -> None:
         """Drop everything (call after a parameter update in training)."""
-        for store in self._store:
-            store.clear()
+        for hop in range(self.max_hop + 1):
+            self._keys[hop] = np.zeros(0, dtype=np.int64)
+            self._pos[hop] = np.zeros(0, dtype=np.int64)
+            self._buf[hop] = None
+            self._len[hop] = 0
 
     @property
     def hit_rate(self) -> float:

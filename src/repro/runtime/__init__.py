@@ -46,6 +46,7 @@ from repro.runtime.rpc import (
     Inbox,
     Request,
     Response,
+    RpcFuture,
     RpcRuntime,
     VirtualClock,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "Inbox",
     "Request",
     "Response",
+    "RpcFuture",
     "RpcRuntime",
     "VirtualClock",
     "KIND_NEIGHBORS",

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import RuntimeConfigError
 
 
@@ -73,4 +75,35 @@ class RequestBatcher:
                     batches.append(Batch(owner, kind, tuple(chunk)))
             else:
                 batches.append(Batch(owner, kind, tuple(vertices)))
+        return batches
+
+    def plan_grouped(
+        self, kind: str, vertices: np.ndarray, owners: np.ndarray
+    ) -> "list[Batch]":
+        """Array-native :meth:`plan` for already-deduplicated reads.
+
+        ``vertices``/``owners`` are aligned arrays with no repeated vertex
+        (the store's read path dedups its batch up front, so re-checking
+        per vertex here would be wasted work). Output is identical to
+        :meth:`plan` on the equivalent ``(vertex, owner)`` list:
+        destinations ordered by first appearance, each destination's
+        vertices in input order, oversized groups split at
+        ``max_batch_size``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        owners = np.asarray(owners, dtype=np.int64)
+        if vertices.size == 0:
+            return []
+        dests, first_idx = np.unique(owners, return_index=True)
+        dests = dests[np.argsort(first_idx, kind="stable")]
+        batches: "list[Batch]" = []
+        for dest in dests.tolist():
+            group = tuple(vertices[owners == dest].tolist())
+            if self.max_batch_size:
+                for i in range(0, len(group), self.max_batch_size):
+                    batches.append(
+                        Batch(dest, kind, group[i : i + self.max_batch_size])
+                    )
+            else:
+                batches.append(Batch(dest, kind, group))
         return batches

@@ -11,7 +11,16 @@ calls. This module gives them the shape of real traffic:
 * a deterministic event loop orders deliveries on a :class:`VirtualClock`
   (simulated microseconds) — requests to different servers overlap, retries
   are rescheduled after a timeout plus capped exponential backoff, and two
-  runs with the same seed replay identically.
+  runs with the same seed replay identically;
+* submission is decoupled from completion: :meth:`RpcRuntime.submit`
+  schedules a batch and returns an :class:`RpcFuture` without draining the
+  event loop, so several batches can be in flight concurrently (the
+  prefetching pipeline overlaps one batch's RPCs with the previous batch's
+  consumption). Completion order stays deterministic — deliveries are
+  processed in ``(ready time, submission sequence)`` order no matter how
+  many futures are outstanding — and :meth:`RpcRuntime.execute` is a thin
+  submit-then-drain wrapper, so the blocking path behaves bit-for-bit as
+  it always has.
 
 Latency is *modelled*, not measured: a successful delivery costs the cost
 model's ``remote_rpc_us`` plus per-item shipping, scaled by the destination's
@@ -38,7 +47,7 @@ from repro.runtime.faults import (
 )
 from repro.runtime.health import HealthTracker
 from repro.runtime.metrics import MetricsRegistry
-from repro.runtime.tracing import NULL_TRACER, Tracer
+from repro.runtime.tracing import NULL_SPAN, NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.storage.cluster import DistributedGraphStore
@@ -131,13 +140,57 @@ class Inbox:
             ) from None
 
 
+class RpcFuture:
+    """Handle to one submitted batch of in-flight requests.
+
+    Minted by :meth:`RpcRuntime.submit`; :meth:`result` drains the
+    runtime's event loop until every request of *this* future has
+    completed (other in-flight futures make progress too — the loop is
+    shared — but only this future's completion gates the return). The
+    response list aligns with the submitted request list.
+    """
+
+    __slots__ = ("requests", "span", "_runtime", "_responses")
+
+    def __init__(
+        self, runtime: "RpcRuntime", requests: "list[Request]", span: "object"
+    ) -> None:
+        self._runtime = runtime
+        self.requests = list(requests)
+        #: Span that retry-exhaustion events are stamped onto (the
+        #: ``rpc.execute`` span on the blocking path, the span open at
+        #: submission time otherwise).
+        self.span = span
+        self._responses: "dict[int, Response]" = {}
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def done(self) -> bool:
+        """Whether every request of this future has a response."""
+        return len(self._responses) == len(self.requests)
+
+    @property
+    def pending(self) -> int:
+        """Requests still awaiting a response."""
+        return len(self.requests) - len(self._responses)
+
+    def result(self) -> "list[Response]":
+        """Drain the runtime until this future completes; aligned responses."""
+        self._runtime.drain(self)
+        return [self._responses[req.req_id] for req in self.requests]
+
+
 class RpcRuntime:
     """Mediates every cross-server read of a :class:`DistributedGraphStore`.
 
     The runtime owns the virtual clock, one bounded inbox per server, the
     fault injector, the retry policy and the metrics registry. The store's
     batch entry points build deduplicated :class:`Request` batches (see
-    :mod:`repro.runtime.batching`) and hand them to :meth:`execute`.
+    :mod:`repro.runtime.batching`) and hand them to :meth:`execute` — or,
+    on the overlapped path, to :meth:`submit`, which returns an
+    :class:`RpcFuture` without draining the event loop.
     """
 
     def __init__(
@@ -181,6 +234,13 @@ class RpcRuntime:
         ]
         self._next_req_id = 0
         self._seq = 0
+        # Shared scheduler state: one heap orders deliveries of *all*
+        # in-flight futures by (ready time, submission sequence), so
+        # completion order is deterministic regardless of how many
+        # batches overlap.
+        self._heap: "list[tuple[float, int, Request]]" = []
+        self._submit_us: "dict[int, float]" = {}
+        self._future_of: "dict[int, RpcFuture]" = {}
 
     # ------------------------------------------------------------------ #
     # Request construction
@@ -206,15 +266,10 @@ class RpcRuntime:
     # ------------------------------------------------------------------ #
     # The deterministic event loop
     # ------------------------------------------------------------------ #
-    def _schedule(
-        self,
-        heap: "list[tuple[float, int, Request]]",
-        req: Request,
-        ready_us: float,
-    ) -> None:
+    def _schedule(self, req: Request, ready_us: float) -> None:
         self.inboxes[req.dst_part].push(req.req_id)
         self._seq += 1
-        heapq.heappush(heap, (ready_us, self._seq, req))
+        heapq.heappush(self._heap, (ready_us, self._seq, req))
         self.metrics.gauge("inbox.depth", labels={"part": req.dst_part}).inc()
 
     def _serve(self, req: Request) -> "tuple[dict[int, np.ndarray], dict[int, bool], int]":
@@ -241,10 +296,60 @@ class RpcRuntime:
                 n_items += int(row.size)
         return payload, meta, n_items
 
+    @property
+    def inflight(self) -> int:
+        """Requests currently awaiting completion across all futures."""
+        return len(self._future_of)
+
+    def submit(
+        self, requests: "list[Request]", span: "object | None" = None
+    ) -> RpcFuture:
+        """Schedule ``requests`` without draining the event loop.
+
+        The returned :class:`RpcFuture` completes when :meth:`drain` (or
+        its own :meth:`~RpcFuture.result`) has processed every delivery it
+        is waiting on. ``span`` (default: the no-op span) receives
+        retry-exhaustion events for this batch.
+        """
+        future = RpcFuture(self, requests, span if span is not None else NULL_SPAN)
+        for req in requests:
+            if req.req_id in self._future_of:
+                raise RuntimeConfigError(
+                    f"request {req.req_id} is already in flight"
+                )
+            self._submit_us[req.req_id] = self.clock.now_us
+            self._future_of[req.req_id] = future
+            self._schedule(req, self.clock.now_us)
+            self.metrics.counter("rpc.requests").inc()
+            self.metrics.histogram("rpc.batch_size").observe(len(req.vertices))
+        return future
+
+    def drain(self, future: "RpcFuture | None" = None) -> None:
+        """Process deliveries until ``future`` completes (or, with no
+        argument, until nothing is in flight).
+
+        Deliveries of *all* in-flight futures are processed in
+        ``(ready time, submission sequence)`` order — a later-submitted
+        batch can complete while an earlier future is being drained, which
+        is exactly the overlap the prefetching pipeline exploits.
+        """
+        if future is None:
+            while self._heap:
+                self._step()
+            return
+        while not future.done:
+            if not self._heap:
+                raise RuntimeConfigError(
+                    f"future with {future.pending} pending requests has "
+                    "nothing scheduled (was it submitted to this runtime?)"
+                )
+            self._step()
+
     def execute(self, requests: "list[Request]") -> "list[Response]":
         """Run ``requests`` to completion; responses align with the input.
 
-        Deliveries are ordered by ``(ready time, submission sequence)`` on
+        A thin submit-then-drain wrapper over the shared event loop:
+        deliveries are ordered by ``(ready time, submission sequence)`` on
         the virtual clock. Drops and timeouts consume an attempt and are
         rescheduled after ``timeout_us`` plus the retry policy's backoff;
         a request that exhausts its attempt budget yields a failed
@@ -253,73 +358,76 @@ class RpcRuntime:
         if not requests:
             return []
         with self.tracer.span("rpc.execute", requests=len(requests)) as exec_span:
-            return self._execute(requests, exec_span)
+            return self.submit(requests, span=exec_span).result()
 
-    def _execute(
-        self, requests: "list[Request]", exec_span: "object"
-    ) -> "list[Response]":
+    def _complete(self, req: Request, response: Response) -> None:
+        """Deliver ``response`` to the future owning ``req``."""
+        future = self._future_of.pop(req.req_id)
+        self._submit_us.pop(req.req_id, None)
+        future._responses[req.req_id] = response
+
+    def _step(self) -> None:
+        """Process the next scheduled delivery (one heap pop)."""
         tracer = self.tracer
-        heap: "list[tuple[float, int, Request]]" = []
-        submit_us: "dict[int, float]" = {}
-        responses: "dict[int, Response]" = {}
         cost = self.store.cost_model
-        for req in requests:
-            submit_us[req.req_id] = self.clock.now_us
-            self._schedule(heap, req, self.clock.now_us)
-            self.metrics.counter("rpc.requests").inc()
-            self.metrics.histogram("rpc.batch_size").observe(len(req.vertices))
-
-        while heap:
-            ready_us, _, req = heapq.heappop(heap)
-            self.clock.advance_to(ready_us)
-            self.inboxes[req.dst_part].pop(req.req_id)
-            self.metrics.gauge("inbox.depth", labels={"part": req.dst_part}).dec()
-            # Fail-stop membership is authoritative: a request addressed to
-            # a worker the store has declared down fails immediately — no
-            # retries (the server will never answer), no fault roll. The
-            # store's routing avoids dispatching these; this is the
-            # runtime-level guarantee that a downed shard cannot serve.
-            if req.dst_part in self.store.failed_workers:
-                self.metrics.counter("rpc.unreachable").inc()
-                tracer.record_span(
-                    "rpc.request",
-                    ready_us,
-                    ready_us,
-                    part=req.dst_part,
-                    kind=req.kind,
-                    outcome="unreachable",
-                )
-                responses[req.req_id] = Response(
+        ready_us, _, req = heapq.heappop(self._heap)
+        self.clock.advance_to(ready_us)
+        self.inboxes[req.dst_part].pop(req.req_id)
+        self.metrics.gauge("inbox.depth", labels={"part": req.dst_part}).dec()
+        submit_us = self._submit_us[req.req_id]
+        # Fail-stop membership is authoritative: a request addressed to
+        # a worker the store has declared down fails immediately — no
+        # retries (the server will never answer), no fault roll. The
+        # store's routing avoids dispatching these; this is the
+        # runtime-level guarantee that a downed shard cannot serve.
+        if req.dst_part in self.store.failed_workers:
+            self.metrics.counter("rpc.unreachable").inc()
+            tracer.record_span(
+                "rpc.request",
+                ready_us,
+                ready_us,
+                part=req.dst_part,
+                kind=req.kind,
+                outcome="unreachable",
+            )
+            self._complete(
+                req,
+                Response(
                     req_id=req.req_id,
                     ok=False,
-                    latency_us=ready_us + self.timeout_us - submit_us[req.req_id],
+                    latency_us=ready_us + self.timeout_us - submit_us,
                     attempts=req.attempt,
                     error=(
                         f"{req.kind} request to server {req.dst_part}: "
                         "server is down (fail-stop)"
                     ),
+                ),
+            )
+            return
+        self.metrics.counter("rpc.attempts").inc()
+        outcome = self.faults.roll() if self.faults is not None else OUTCOME_OK
+        if outcome != OUTCOME_OK:
+            self.health.record_failure(req.dst_part)
+            self.metrics.counter(f"rpc.{outcome}s").inc()
+            tracer.record_span(
+                "rpc.attempt",
+                ready_us,
+                ready_us + self.timeout_us,
+                part=req.dst_part,
+                kind=req.kind,
+                attempt=req.attempt,
+                outcome=outcome,
+            )
+            if req.attempt >= self.retry.max_attempts:
+                self._future_of[req.req_id].span.event(
+                    "rpc.retry_exhausted", req.dst_part
                 )
-                continue
-            self.metrics.counter("rpc.attempts").inc()
-            outcome = self.faults.roll() if self.faults is not None else OUTCOME_OK
-            if outcome != OUTCOME_OK:
-                self.health.record_failure(req.dst_part)
-                self.metrics.counter(f"rpc.{outcome}s").inc()
-                tracer.record_span(
-                    "rpc.attempt",
-                    ready_us,
-                    ready_us + self.timeout_us,
-                    part=req.dst_part,
-                    kind=req.kind,
-                    attempt=req.attempt,
-                    outcome=outcome,
-                )
-                if req.attempt >= self.retry.max_attempts:
-                    exec_span.event("rpc.retry_exhausted", req.dst_part)
-                    responses[req.req_id] = Response(
+                self._complete(
+                    req,
+                    Response(
                         req_id=req.req_id,
                         ok=False,
-                        latency_us=ready_us + self.timeout_us - submit_us[req.req_id],
+                        latency_us=ready_us + self.timeout_us - submit_us,
                         attempts=req.attempt,
                         error=(
                             f"{req.kind} request to server {req.dst_part} "
@@ -328,51 +436,52 @@ class RpcRuntime:
                             else f"{req.kind} request to server {req.dst_part} "
                             f"timed out past the retry budget"
                         ),
-                    )
-                    continue
-                self.metrics.counter("rpc.retries").inc()
-                backoff = self.retry.backoff_us(req.attempt)
-                self._schedule(
-                    heap,
-                    replace(req, attempt=req.attempt + 1),
-                    ready_us + self.timeout_us + backoff,
+                    ),
                 )
-                continue
-            self.health.record_success(req.dst_part)
-            payload, meta, n_items = self._serve(req)
-            factor = (
-                self.faults.service_factor(req.dst_part)
-                if self.faults is not None
-                else 1.0
+                return
+            self.metrics.counter("rpc.retries").inc()
+            backoff = self.retry.backoff_us(req.attempt)
+            self._schedule(
+                replace(req, attempt=req.attempt + 1),
+                ready_us + self.timeout_us + backoff,
             )
-            service_us = (
-                cost.remote_rpc_us + cost.item_shipped_us * n_items
-            ) * factor
-            done_us = ready_us + service_us
-            self.clock.advance_to(done_us)
-            latency = done_us - submit_us[req.req_id]
-            responses[req.req_id] = Response(
+            return
+        self.health.record_success(req.dst_part)
+        payload, meta, n_items = self._serve(req)
+        factor = (
+            self.faults.service_factor(req.dst_part)
+            if self.faults is not None
+            else 1.0
+        )
+        service_us = (
+            cost.remote_rpc_us + cost.item_shipped_us * n_items
+        ) * factor
+        done_us = ready_us + service_us
+        self.clock.advance_to(done_us)
+        latency = done_us - submit_us
+        self.metrics.counter("rpc.completed").inc()
+        self.metrics.counter(
+            "server.served", labels={"part": req.dst_part}
+        ).inc()
+        self.metrics.histogram("rpc.latency_us").observe(latency)
+        tracer.record_span(
+            "rpc.request",
+            ready_us,
+            done_us,
+            part=req.dst_part,
+            kind=req.kind,
+            vertices=len(req.vertices),
+            attempt=req.attempt,
+            latency_us=latency,
+        )
+        self._complete(
+            req,
+            Response(
                 req_id=req.req_id,
                 ok=True,
                 payload=payload,
                 meta=meta,
                 latency_us=latency,
                 attempts=req.attempt,
-            )
-            self.metrics.counter("rpc.completed").inc()
-            self.metrics.counter(
-                "server.served", labels={"part": req.dst_part}
-            ).inc()
-            self.metrics.histogram("rpc.latency_us").observe(latency)
-            tracer.record_span(
-                "rpc.request",
-                ready_us,
-                done_us,
-                part=req.dst_part,
-                kind=req.kind,
-                vertices=len(req.vertices),
-                attempt=req.attempt,
-                latency_us=latency,
-            )
-
-        return [responses[req.req_id] for req in requests]
+            ),
+        )

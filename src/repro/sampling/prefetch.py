@@ -1,0 +1,264 @@
+"""Overlapped sampling: bounded prefetch of training batches (paper §3.3).
+
+AliGraph's sampling servers run ahead of the trainers: while step ``i``
+computes its forward/backward pass, the sampling stage is already resolving
+step ``i+1``'s neighborhood reads. This module models that overlap without
+giving up the repo's determinism contract:
+
+* :class:`PrefetchingPipeline` — a bounded depth-``N`` producer wrapped
+  around any batch source. Production stays *sequential in batch order*
+  (same RNG stream, same virtual clock, same spans), so the emitted batch
+  sequence is bit-identical at every depth; the buffer only changes *when*
+  each batch is produced relative to its consumption. A sliding
+  frontier-dedup window measures how many sampled vertices recur across
+  adjacent in-flight batches (the reads a real overlapped fetcher would
+  coalesce) as the ``pipeline.coalesced`` metric — measured, never acted
+  on, so fetch semantics and the cost ledger are untouched.
+* :func:`simulate_makespan` / :func:`overlap_report` — the bounded-buffer
+  pipeline schedule: producer ``i`` may start once slot ``i-N`` is free,
+  consumer ``i`` once batch ``i`` exists. Depth 0 degenerates to the
+  serial sum; large depths approach ``max(Σ sample, Σ compute)``.
+* :func:`stage_costs` — per-step sample/compute costs read back from a
+  :class:`~repro.runtime.tracing.StageProfiler`, so the model's inputs are
+  measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+__all__ = [
+    "PrefetchingPipeline",
+    "OverlapReport",
+    "simulate_makespan",
+    "overlap_report",
+    "stage_costs",
+]
+
+
+class PrefetchingPipeline:
+    """Bounded depth-``N`` prefetcher over a batch producer.
+
+    Parameters
+    ----------
+    produce:
+        Callable ``produce(rng) -> batch``. Each call must draw from
+        ``rng`` exactly as an unprefetched loop would — the pipeline calls
+        it strictly in batch order, which is what makes every depth emit
+        the identical sequence.
+    depth:
+        Buffer depth. 0 disables buffering entirely (produce-on-demand,
+        today's behaviour); ``N >= 1`` keeps up to ``N`` batches resident
+        ahead of the consumer.
+    frontier_of:
+        Optional ``frontier_of(batch) -> array`` extracting the vertex
+        frontier of a produced batch (e.g.
+        ``lambda b: b.context.all_vertices()``). When set, overlap with
+        the previous ``window`` frontiers is accumulated in
+        :attr:`coalesced`.
+    window:
+        Number of preceding frontiers the dedup window holds.
+    metrics:
+        Optional :class:`~repro.runtime.metrics.MetricsRegistry`; records
+        the ``pipeline.coalesced`` counter and a
+        ``pipeline.prefetch_buffer`` gauge of buffer occupancy.
+    tracer:
+        Optional :class:`~repro.runtime.tracing.Tracer` for the pipeline's
+        *own* spans (``prefetch.produce`` with a ``prefetch.coalesced``
+        event). Deliberately separate from the sampling tracer: the
+        underlying read-path traces must stay byte-identical across
+        depths, so prefetch observability is opt-in and out-of-band.
+    """
+
+    def __init__(
+        self,
+        produce: "Callable[[np.random.Generator], object]",
+        depth: int,
+        frontier_of: "Callable[[object], np.ndarray] | None" = None,
+        window: int = 2,
+        metrics: "object | None" = None,
+        tracer: "object | None" = None,
+    ) -> None:
+        if depth < 0:
+            raise SamplingError(f"prefetch depth must be >= 0, got {depth}")
+        if window < 0:
+            raise SamplingError(f"dedup window must be >= 0, got {window}")
+        self._produce = produce
+        self.depth = depth
+        self.frontier_of = frontier_of
+        self._frontiers: "deque[np.ndarray]" = deque(maxlen=window or 1)
+        self.window = window
+        self.metrics = metrics
+        self.tracer = tracer
+        self.produced = 0
+        self.consumed = 0
+        #: Sampled vertices that recurred within the dedup window — the
+        #: reads an overlapped fetcher could coalesce across in-flight
+        #: batches. A measurement only; no fetch is actually elided.
+        self.coalesced = 0
+
+    def _produce_one(self, rng: np.random.Generator) -> object:
+        span_ctx = (
+            self.tracer.span(
+                "prefetch.produce", index=self.produced, depth=self.depth
+            )
+            if self.tracer is not None
+            else nullcontext()
+        )
+        with span_ctx as span:
+            item = self._produce(rng)
+            if self.frontier_of is not None and self.window:
+                frontier = np.unique(
+                    np.asarray(self.frontier_of(item), dtype=np.int64)
+                )
+                if self._frontiers:
+                    seen = np.unique(np.concatenate(list(self._frontiers)))
+                    overlap = int(
+                        np.intersect1d(
+                            frontier, seen, assume_unique=True
+                        ).size
+                    )
+                    if overlap:
+                        self.coalesced += overlap
+                        if self.metrics is not None:
+                            self.metrics.counter("pipeline.coalesced").inc(
+                                overlap
+                            )
+                        if span is not None:
+                            span.event("prefetch.coalesced", overlap)
+                self._frontiers.append(frontier)
+        self.produced += 1
+        return item
+
+    def run(
+        self, n_batches: int, rng: np.random.Generator
+    ) -> "Iterator[object]":
+        """Yield exactly ``n_batches`` batches, buffering up to ``depth``.
+
+        Production never runs past ``n_batches``, so produced == consumed
+        at exhaustion and a depth-``N`` run charges the same sampling work
+        (ledger events, RNG draws, metrics) as a depth-0 run.
+        """
+        if n_batches < 0:
+            raise SamplingError(f"n_batches must be >= 0, got {n_batches}")
+        to_produce = n_batches
+        buffer: "deque[object]" = deque()
+
+        def fill() -> None:
+            nonlocal to_produce
+            while to_produce > 0 and len(buffer) < self.depth:
+                buffer.append(self._produce_one(rng))
+                to_produce -= 1
+            if self.metrics is not None:
+                self.metrics.gauge("pipeline.prefetch_buffer").set(
+                    len(buffer)
+                )
+
+        for _ in range(n_batches):
+            fill()
+            if buffer:
+                item = buffer.popleft()
+            else:  # depth 0: produce on demand
+                item = self._produce_one(rng)
+                to_produce -= 1
+            self.consumed += 1
+            fill()
+            yield item
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Makespan of one pipelined schedule vs its serial baseline."""
+
+    depth: int
+    n_batches: int
+    sample_us: float
+    compute_us: float
+    serial_us: float
+    makespan_us: float
+
+    @property
+    def speedup(self) -> float:
+        """Serial time over pipelined makespan (1.0 = no overlap win)."""
+        return self.serial_us / self.makespan_us if self.makespan_us else 1.0
+
+
+def simulate_makespan(
+    sample_us: "list[float]", compute_us: "list[float]", depth: int
+) -> float:
+    """Makespan of a bounded-buffer producer/consumer schedule.
+
+    ``sample_us[i]`` is batch ``i``'s sampling (producer) cost and
+    ``compute_us[i]`` its training-step (consumer) cost. With buffer depth
+    ``D >= 1`` the consumer pops batch ``i`` from the buffer when it
+    *starts* computing on it, freeing that slot — so the producer may
+    start batch ``i`` once batch ``i`` - ``D`` has been popped::
+
+        cons_start[i] = max(cons_done[i-1], prod_done[i])
+        prod_done[i]  = max(prod_done[i-1], cons_start[i-D]) + s[i]
+        cons_done[i]  = cons_start[i] + c[i]
+
+    Depth 0 is the serial schedule: ``sum(s) + sum(c)``.
+    """
+    if len(sample_us) != len(compute_us):
+        raise SamplingError("sample_us/compute_us length mismatch")
+    if depth < 0:
+        raise SamplingError(f"prefetch depth must be >= 0, got {depth}")
+    n = len(sample_us)
+    if n == 0:
+        return 0.0
+    if depth == 0:
+        return float(sum(sample_us) + sum(compute_us))
+    prod_done = [0.0] * n
+    cons_start = [0.0] * n
+    cons_done = [0.0] * n
+    for i in range(n):
+        start = prod_done[i - 1] if i else 0.0
+        if i >= depth:
+            start = max(start, cons_start[i - depth])
+        prod_done[i] = start + float(sample_us[i])
+        cons_start[i] = max(
+            cons_done[i - 1] if i else 0.0, prod_done[i]
+        )
+        cons_done[i] = cons_start[i] + float(compute_us[i])
+    return cons_done[-1]
+
+
+def overlap_report(
+    sample_us: "list[float]", compute_us: "list[float]", depth: int
+) -> OverlapReport:
+    """Bundle :func:`simulate_makespan` with its serial baseline."""
+    serial = simulate_makespan(sample_us, compute_us, 0)
+    makespan = simulate_makespan(sample_us, compute_us, depth)
+    return OverlapReport(
+        depth=depth,
+        n_batches=len(sample_us),
+        sample_us=float(sum(sample_us)),
+        compute_us=float(sum(compute_us)),
+        serial_us=serial,
+        makespan_us=makespan,
+    )
+
+
+def stage_costs(
+    profiler: "object", sample_stages: "tuple[str, ...]" = ("sample",)
+) -> "tuple[float, float]":
+    """Mean per-step ``(sample_us, compute_us)`` from a stage profiler.
+
+    Stages named in ``sample_stages`` count as producer (sampling) time;
+    every other recorded stage is consumer (compute) time. Feeds measured
+    costs into :func:`simulate_makespan` so overlap projections rest on
+    profiled numbers rather than assumptions.
+    """
+    totals = profiler.stage_totals()
+    steps = int(profiler.metrics.counter("train.steps").value) or 1
+    sample = sum(v for k, v in totals.items() if k in sample_stages)
+    compute = sum(v for k, v in totals.items() if k not in sample_stages)
+    return sample / steps, compute / steps

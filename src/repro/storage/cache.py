@@ -44,6 +44,11 @@ class NeighborCache:
         self.misses = 0
         self._registry = None  # ReplicaRegistry | None
         self._part: int | None = None
+        # Sorted snapshot of the pinned key set, rebuilt lazily after a
+        # pin/invalidate; lets the store's batched read path answer "which
+        # of these vertices are cached?" with one np.isin instead of a
+        # per-vertex dict probe.
+        self._pinned_keys: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self._pinned) + len(self._lru)
@@ -70,6 +75,7 @@ class NeighborCache:
         if vertex not in self._pinned and len(self._pinned) >= self.capacity:
             raise StorageError("neighbor cache pin capacity exhausted")
         self._pinned[vertex] = np.asarray(neighbors, dtype=np.int64)
+        self._pinned_keys = None
         self._register(vertex)
 
     def get(self, vertex: int) -> np.ndarray | None:
@@ -120,9 +126,46 @@ class NeighborCache:
         miss.
         """
         pinned = self._pinned.pop(vertex, None) is not None
+        if pinned:
+            self._pinned_keys = None
         dropped = self._lru.delete(vertex)
         if pinned or dropped:
             self._deregister(vertex)
+
+    @property
+    def supports_batch_probe(self) -> bool:
+        """Whether :meth:`probe_batch` answers membership exactly.
+
+        True for pinned-only caches (importance/random policies, or no
+        cache at all): their contents do not change on access, so a batch
+        membership mask computed up front stays valid while the batch's
+        hits are read out. Demand-filled (LRU) caches mutate recency and
+        contents per access and must keep the per-vertex path.
+        """
+        return self._lru.capacity == 0
+
+    def probe_batch(self, vertices: np.ndarray) -> np.ndarray:
+        """Boolean membership mask over ``vertices`` (pinned entries only).
+
+        A pure array probe: no hit/miss accounting, no recency updates —
+        callers read the hits out with :meth:`get` (which counts them) and
+        charge the misses in bulk with :meth:`record_misses`.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if not self._pinned:
+            return np.zeros(vertices.shape, dtype=bool)
+        if self._pinned_keys is None:
+            self._pinned_keys = np.fromiter(
+                self._pinned, dtype=np.int64, count=len(self._pinned)
+            )
+            self._pinned_keys.sort()
+        return np.isin(vertices, self._pinned_keys, assume_unique=False)
+
+    def record_misses(self, n: int) -> None:
+        """Charge ``n`` lookups that a batch probe resolved as misses."""
+        if n < 0:
+            raise StorageError(f"cannot record {n} misses")
+        self.misses += n
 
     @property
     def hit_rate(self) -> float:

@@ -281,20 +281,42 @@ class DistributedGraphStore:
     ) -> "dict[int, np.ndarray]":
         health = runtime.health
         issuer = self.servers[from_part]
+        nb_cache = issuer.neighbor_cache
         demand_fill = (
             kind == KIND_NEIGHBORS
             and self.cache_policy is not None
             and self.cache_policy.demand_filled
         )
+
+        # Dedup and validate the whole batch with array ops: np.unique on
+        # the raw ids, re-sorted to first-seen order so replays (and the
+        # ledger events the ordered loop below emits) stay deterministic.
+        arr = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        if arr.size:
+            uniq, first_idx = np.unique(arr, return_index=True)
+            uniq = uniq[np.argsort(first_idx, kind="stable")]
+        else:
+            uniq = arr
+        oob = (uniq < 0) | (uniq >= self.graph.n_vertices)
+        if oob.any():
+            raise StorageError(f"unknown vertex {int(uniq[oob][0])}")
+        owners = self.assignment.vertex_to_part[uniq]
+
+        # Pinned caches never mutate on access, so one np.isin answers
+        # every cache probe for the batch; the loop then only touches the
+        # cache for actual hits. LRU caches mutate recency per access and
+        # keep the per-vertex probe (probe_mask=None).
+        probe_mask = None
+        if kind == KIND_NEIGHBORS and nb_cache.supports_batch_probe:
+            probe_mask = nb_cache.probe_batch(uniq)
+
         results: "dict[int, np.ndarray]" = {}
-        remote_reads: "list[tuple[int, int]]" = []
-        seen: set[int] = set()
-        for v in vertices:
-            v = int(v)
-            if v in seen:
-                continue
-            seen.add(v)
-            owner = self.owner(v)
+        remote_v: "list[int]" = []
+        remote_owner: "list[int]" = []
+        probe_misses = 0
+        # Dispatch stays an ordered scalar loop: each arm records ledger
+        # events whose order is part of the deterministic trace contract.
+        for i, (v, owner) in enumerate(zip(uniq.tolist(), owners.tolist())):
             server = self.servers[owner]
             if owner == from_part:
                 if kind == KIND_NEIGHBORS:
@@ -312,11 +334,19 @@ class DistributedGraphStore:
                     )
                 continue
             if kind == KIND_NEIGHBORS:
-                cached = issuer.neighbor_cache.get(v)
-                if cached is not None:
-                    self.ledger.record(EV_CACHE_HIT)
-                    results[v] = cached
-                    continue
+                if probe_mask is not None:
+                    if probe_mask[i]:
+                        cached = nb_cache.get(v)
+                        self.ledger.record(EV_CACHE_HIT)
+                        results[v] = cached
+                        continue
+                    probe_misses += 1
+                else:
+                    cached = nb_cache.get(v)
+                    if cached is not None:
+                        self.ledger.record(EV_CACHE_HIT)
+                        results[v] = cached
+                        continue
             if owner in self._failed:
                 results[v] = self._failover_read(v, from_part, kind)
                 continue
@@ -333,16 +363,25 @@ class DistributedGraphStore:
                     runtime.metrics.counter("health.suspect_routes").inc()
                     results[v] = row
                     continue
-            remote_reads.append((v, owner))
+            remote_v.append(v)
+            remote_owner.append(owner)
+        if probe_misses:
+            nb_cache.record_misses(probe_misses)
 
         read_span.annotate(
-            vertices=len(seen), resolved_local=len(results), remote=len(remote_reads)
+            vertices=int(uniq.size),
+            resolved_local=len(results),
+            remote=len(remote_v),
         )
-        if not remote_reads:
+        if not remote_v:
             return results
         with runtime.tracer.span("batch.plan", kind=kind) as plan_span:
-            batches = self._batcher.plan(kind, remote_reads)
-            plan_span.annotate(reads=len(remote_reads), batches=len(batches))
+            batches = self._batcher.plan_grouped(
+                kind,
+                np.asarray(remote_v, dtype=np.int64),
+                np.asarray(remote_owner, dtype=np.int64),
+            )
+            plan_span.annotate(reads=len(remote_v), batches=len(batches))
         requests = [
             runtime.make_request(b.kind, from_part, b.dst_part, b.vertices)
             for b in batches
