@@ -221,10 +221,9 @@ class GNNFramework(EmbeddingModel):
         self, graph: Graph, sampler, rng: np.random.Generator
     ) -> "list[np.ndarray]":
         tables = []
+        all_vertices = np.arange(graph.n_vertices, dtype=np.int64)
         for _ in range(self.kmax):
-            table = np.empty((graph.n_vertices, self.fanout), dtype=np.int64)
-            for v in range(graph.n_vertices):
-                table[v] = sampler._sample_one(v, self.fanout, rng)
+            table, _ = sampler.sample_children(all_vertices, self.fanout, rng)
             tables.append(table)
         return tables
 

@@ -69,6 +69,17 @@ class DynamicGraph:
         """Events on the transition from snapshot ``t`` to ``t+1``."""
         return [ev for ev in self.events if ev.timestamp == t]
 
+    def provider(self, t: int = 0) -> "object":
+        """A versioned :class:`~repro.sampling.base.SnapshotProvider` at ``t``.
+
+        ``provider.advance(t')`` moves it to another snapshot and bumps its
+        version, which makes any batched sampler bound to it rebuild its
+        CSR snapshot on the next draw.
+        """
+        from repro.sampling.base import SnapshotProvider
+
+        return SnapshotProvider(self, t)
+
     def burst_fraction(self) -> float:
         """Fraction of 'add' events labelled as bursts."""
         adds = [ev for ev in self.events if ev.kind == "add"]

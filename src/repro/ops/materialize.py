@@ -240,12 +240,8 @@ class MinibatchExecutor:
             missing_at[k] = missing_arr
             if missing_arr.size:
                 fanout = self.fanouts[self.kmax - k]
-                kids = np.concatenate(
-                    [
-                        self.sampler._sample_one(int(v), fanout, rng)
-                        for v in missing_arr
-                    ]
-                )
+                kids, _ = self.sampler.sample_children(missing_arr, fanout, rng)
+                kids = kids.reshape(-1)
             else:
                 kids = np.zeros(0, dtype=np.int64)
             children_at[k] = kids

@@ -10,8 +10,10 @@ from repro.sampling.base import (
     GraphProvider,
     NeighborProvider,
     Sampler,
+    SnapshotProvider,
     StoreProvider,
 )
+from repro.sampling.kernels import CsrAdjacency
 from repro.sampling.negative import (
     DegreeBiasedNegativeSampler,
     TypeAwareNegativeSampler,
@@ -40,7 +42,9 @@ __all__ = [
     "Sampler",
     "NeighborProvider",
     "GraphProvider",
+    "SnapshotProvider",
     "StoreProvider",
+    "CsrAdjacency",
     "VertexTraverseSampler",
     "EdgeTraverseSampler",
     "NeighborhoodSample",

@@ -52,6 +52,18 @@ class Sampler:
 class NeighborProvider:
     """Adjacency access abstraction consumed by neighborhood samplers."""
 
+    #: Whether a full CSR snapshot of this provider is free to take (pure
+    #: memory views, no priced reads). Samplers with ``backend="auto"``
+    #: pick the batched kernels exactly when this is True; priced providers
+    #: keep the per-vertex reference path so their cost ledgers are
+    #: unchanged unless a snapshot is explicitly requested.
+    csr_cost_free = False
+
+    #: Adjacency version counter. Providers over mutable sources bump this
+    #: on every structural change; samplers compare it against the version
+    #: their CSR snapshot was built at and rebuild when it moved.
+    version = 0
+
     def neighbors(self, vertex: int) -> np.ndarray:
         """Out-neighbor ids of ``vertex``."""
         raise NotImplementedError
@@ -68,6 +80,16 @@ class NeighborProvider:
         """Edge weights aligned with :meth:`neighbors`."""
         raise NotImplementedError
 
+    def csr_snapshot(self) -> "object":
+        """A :class:`~repro.sampling.kernels.CsrAdjacency` of this provider.
+
+        The default scans the provider one vertex at a time (every read
+        priced as usual); providers with a cheaper bulk path override it.
+        """
+        from repro.sampling.kernels import CsrAdjacency
+
+        return CsrAdjacency.from_provider(self)
+
     @property
     def n_vertices(self) -> int:
         """Total vertices addressable through this provider."""
@@ -77,6 +99,8 @@ class NeighborProvider:
 class GraphProvider(NeighborProvider):
     """Direct in-memory adjacency access (single-machine path)."""
 
+    csr_cost_free = True
+
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
 
@@ -85,6 +109,53 @@ class GraphProvider(NeighborProvider):
 
     def weights(self, vertex: int) -> np.ndarray:
         return self.graph.out_weights(vertex)
+
+    def csr_snapshot(self) -> "object":
+        from repro.sampling.kernels import CsrAdjacency
+
+        return CsrAdjacency.from_graph(self.graph)
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+
+class SnapshotProvider(NeighborProvider):
+    """Adjacency over one timestamp of a :class:`DynamicGraph`.
+
+    :meth:`advance` moves to another snapshot and bumps :attr:`version`, so
+    batched samplers bound to this provider rebuild their CSR on the next
+    draw — the "refresh on dynamic-graph updates" contract without the
+    sampler knowing about dynamic graphs at all.
+    """
+
+    csr_cost_free = True
+
+    def __init__(self, dynamic_graph: "object", t: int = 0) -> None:
+        self.dynamic_graph = dynamic_graph
+        self.t = int(t)
+        self.graph = dynamic_graph.snapshot(self.t)
+        self.version = 0
+
+    def advance(self, t: int) -> "SnapshotProvider":
+        """Rebind to snapshot ``t`` (no-op when already there)."""
+        t = int(t)
+        if t != self.t:
+            self.graph = self.dynamic_graph.snapshot(t)
+            self.t = t
+            self.version += 1
+        return self
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.graph.out_neighbors(vertex)
+
+    def weights(self, vertex: int) -> np.ndarray:
+        return self.graph.out_weights(vertex)
+
+    def csr_snapshot(self) -> "object":
+        from repro.sampling.kernels import CsrAdjacency
+
+        return CsrAdjacency.from_graph(self.graph)
 
     @property
     def n_vertices(self) -> int:
@@ -119,6 +190,26 @@ class StoreProvider(NeighborProvider):
         self._prefetched = self.store.get_neighbors_batch(
             vertices, from_part=self.from_part
         )
+
+    def csr_snapshot(self) -> "object":
+        """CSR snapshot via one bulk batched read of the whole graph.
+
+        Every row is fetched through ``get_neighbors_batch`` — one
+        deduplicated RPC per owning server, fully priced on the cost
+        ledger. Pays once; afterwards batched kernels draw without any
+        per-hop store traffic (weights stay uniform, as for all remote
+        reads through this provider).
+        """
+        from repro.sampling.kernels import CsrAdjacency
+
+        all_vertices = np.arange(self.n_vertices, dtype=np.int64)
+        fetched = self.store.get_neighbors_batch(
+            all_vertices, from_part=self.from_part
+        )
+        rows = [
+            np.asarray(fetched[int(v)], dtype=np.int64) for v in all_vertices
+        ]
+        return CsrAdjacency.from_rows(rows)
 
     def neighbors(self, vertex: int) -> np.ndarray:
         row = self._prefetched.get(int(vertex))

@@ -28,15 +28,32 @@ from repro.utils.alias import AliasTable
 
 
 class _PoolNegativeSampler(Sampler):
-    """Common machinery: a vertex pool + optional true-edge rejection."""
+    """Common machinery: a vertex pool + optional true-edge rejection.
 
-    def __init__(self, graph: Graph, pool: np.ndarray, strict: bool = False) -> None:
+    ``backend="batched"`` (default) runs strict-mode rejection as rounds of
+    masked vectorized redraws — all still-colliding slots across the whole
+    batch redraw together, with membership tested against sorted
+    ``(row, vertex)`` keys. ``reference`` keeps the original per-slot scalar
+    rejection loop. Both give each slot up to ``max_retries`` redraws and
+    keep a stubborn collision rather than looping forever.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        pool: np.ndarray,
+        strict: bool = False,
+        backend: str = "batched",
+    ) -> None:
         super().__init__()
         if pool.size == 0:
             raise SamplingError("negative sampler has an empty vertex pool")
+        if backend not in ("batched", "reference"):
+            raise SamplingError(f"unknown negative-sampler backend {backend!r}")
         self.graph = graph
         self.pool = pool.astype(np.int64)
         self.strict = strict
+        self.backend = backend
         self.max_retries = 10
 
     def _draw(self, size: int, rng: np.random.Generator) -> np.ndarray:
@@ -61,6 +78,8 @@ class _PoolNegativeSampler(Sampler):
         out = self._draw(anchors.size * neg_num, rng).reshape(anchors.size, neg_num)
         if not self.strict:
             return out
+        if self.backend == "batched":
+            return self._reject_batched(anchors, out, rng)
         for i, anchor in enumerate(anchors):
             forbidden = set(int(u) for u in self.graph.out_neighbors(int(anchor)))
             forbidden.add(int(anchor))
@@ -69,6 +88,43 @@ class _PoolNegativeSampler(Sampler):
                 while int(out[i, j]) in forbidden and tries < self.max_retries:
                     out[i, j] = self._draw(1, rng)[0]
                     tries += 1
+        return out
+
+    def _reject_batched(
+        self, anchors: np.ndarray, out: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized strict rejection: rounds of masked redraws.
+
+        Forbidden (row, vertex) pairs are encoded as ``row * n + vertex``
+        keys; per-row neighbor lists are gathered off the graph's CSR, and
+        since rows ascend the concatenation of sorted CSR segments is
+        already globally sorted — membership is one ``searchsorted`` per
+        round over the whole batch.
+        """
+        m, neg_num = out.shape
+        n = self.graph.n_vertices
+        indptr, indices, _ = self.graph.csr_arrays()
+        deg = indptr[anchors + 1] - indptr[anchors]
+        offsets = np.concatenate([[0], np.cumsum(deg)])
+        pos = np.arange(offsets[-1], dtype=np.int64) - np.repeat(offsets[:-1], deg)
+        row_of = np.repeat(np.arange(m, dtype=np.int64), deg)
+        forbidden = np.concatenate(
+            [
+                row_of * n + indices[np.repeat(indptr[anchors], deg) + pos],
+                np.arange(m, dtype=np.int64) * n + anchors,  # the anchor itself
+            ]
+        )
+        forbidden.sort()
+        row_key = np.arange(m, dtype=np.int64)[:, None] * n
+        for _ in range(self.max_retries):
+            keys = (row_key + out).ravel()
+            loc = np.searchsorted(forbidden, keys)
+            hit = loc < forbidden.size
+            hit[hit] = forbidden[loc[hit]] == keys[hit]
+            bad = np.flatnonzero(hit)
+            if bad.size == 0:
+                break
+            out.ravel()[bad] = self._draw(bad.size, rng)
         return out
 
 
@@ -82,13 +138,14 @@ class UniformNegativeSampler(_PoolNegativeSampler):
         graph: Graph,
         vertices: np.ndarray | None = None,
         strict: bool = False,
+        backend: str = "batched",
     ) -> None:
         pool = (
             np.asarray(vertices, dtype=np.int64)
             if vertices is not None
             else graph.vertices()
         )
-        super().__init__(graph, pool, strict=strict)
+        super().__init__(graph, pool, strict=strict, backend=backend)
 
     def _draw(self, size: int, rng: np.random.Generator) -> np.ndarray:
         return self.pool[rng.integers(self.pool.size, size=size)]
@@ -105,13 +162,14 @@ class DegreeBiasedNegativeSampler(_PoolNegativeSampler):
         power: float = 0.75,
         vertices: np.ndarray | None = None,
         strict: bool = False,
+        backend: str = "batched",
     ) -> None:
         pool = (
             np.asarray(vertices, dtype=np.int64)
             if vertices is not None
             else graph.vertices()
         )
-        super().__init__(graph, pool, strict=strict)
+        super().__init__(graph, pool, strict=strict, backend=backend)
         if power < 0:
             raise SamplingError(f"power must be non-negative, got {power}")
         degrees = graph.out_degrees()[self.pool].astype(np.float64)
@@ -160,13 +218,11 @@ class TypeAwareNegativeSampler(Sampler):
             sampler = self._sampler_for(vertex_type)
             return sampler.sample(anchors, neg_num, rng)
         out = np.empty((anchors.size, neg_num), dtype=np.int64)
-        for i, anchor in enumerate(anchors):
-            tname = self.graph.vertex_type_names[
-                int(self.graph.vertex_types[int(anchor)])
-            ]
-            out[i] = self._sampler_for(tname).sample(
-                np.array([anchor]), neg_num, rng
-            )[0]
+        anchor_types = self.graph.vertex_types[anchors]
+        for code in np.unique(anchor_types):
+            rows = np.flatnonzero(anchor_types == code)
+            tname = self.graph.vertex_type_names[int(code)]
+            out[rows] = self._sampler_for(tname).sample(anchors[rows], neg_num, rng)
         return out
 
     def _sampler_for(self, vertex_type: str) -> DegreeBiasedNegativeSampler:

@@ -16,6 +16,25 @@ the paper's Table 1:
   weights exposed for variance correction;
 * :class:`FullNeighborSampler` — no sampling (exact GCN), with a fan-out cap
   as a safety valve on power-law hubs.
+
+Every sampler exposes two execution backends behind the same public
+:meth:`_ExpandingSampler.sample_children` API:
+
+* ``batched`` — one vectorized draw for the whole frontier over a
+  :class:`~repro.sampling.kernels.CsrAdjacency` snapshot (uniform draws are
+  a broadcast ``rng.integers``; weighted/importance draws go through one
+  :class:`~repro.utils.alias.GroupedAliasTable` spanning every adjacency
+  list). The snapshot is built once from the provider and rebuilt whenever
+  the provider's ``version`` counter moves (dynamic-graph updates).
+* ``reference`` — the original per-vertex scalar loop, kept as the
+  equivalence oracle: deterministic samplers must match it exactly, the
+  stochastic ones distributionally (chi-square tested).
+
+``backend="auto"`` (the default) picks ``batched`` when the provider's CSR
+snapshot is free to take (in-memory providers) and ``reference`` when reads
+are priced (the distributed store path keeps per-hop prefetch + per-vertex
+draws, so its cost ledgers are unchanged); pass ``backend="batched"`` to a
+store-backed sampler to pay for one bulk snapshot instead.
 """
 
 from __future__ import annotations
@@ -26,7 +45,10 @@ import numpy as np
 
 from repro.errors import SamplingError
 from repro.sampling.base import NeighborProvider, Sampler
-from repro.utils.alias import AliasTable
+from repro.sampling.kernels import CsrAdjacency
+from repro.utils.alias import AliasTable, GroupedAliasTable
+
+_BACKENDS = ("auto", "batched", "reference")
 
 
 @dataclass
@@ -35,9 +57,16 @@ class NeighborhoodSample:
 
     ``layers[0]`` is the seed batch; ``layers[k]`` holds the hop-k context,
     flattened so that the ``hop_nums[k-1]`` samples for ``layers[k-1][i]``
-    sit at ``layers[k][i * hop_nums[k-1] : (i+1) * hop_nums[k-1]]``. Padding
-    for vertices with no neighbors repeats the vertex itself (self-loop
-    semantics), recorded in ``pad_mask``.
+    sit at ``layers[k][i * hop_nums[k-1] : (i+1) * hop_nums[k-1]]``.
+
+    ``pad_masks[k-1]`` (aligned with ``layers[k]``) records the *self-loop
+    contract*: an entry is True exactly when the sampled child equals its
+    parent vertex. Vertices with no neighbors are padded by repeating
+    themselves, so all their entries are True — but a genuine self-loop
+    edge draw is marked True as well. The mask therefore answers "does this
+    slot aggregate the parent's own features?", not "was this slot
+    synthesized?"; downstream consumers (e.g. mean aggregation that wants
+    to discount padding) treat the two cases identically.
     """
 
     layers: list[np.ndarray]
@@ -66,20 +95,110 @@ class NeighborhoodSample:
 
 
 class _ExpandingSampler(Sampler):
-    """Shared multi-hop expansion loop; subclasses pick per-vertex samples."""
+    """Shared multi-hop expansion; subclasses supply the draw kernels.
 
-    def __init__(self, provider: NeighborProvider) -> None:
+    Subclasses implement ``_sample_one`` (scalar reference draw) and
+    ``_sample_children_batched`` (vectorized frontier draw); everything
+    else — backend selection, CSR snapshot lifecycle, hop expansion —
+    lives here.
+    """
+
+    def __init__(self, provider: NeighborProvider, backend: str = "auto") -> None:
         super().__init__()
+        if backend not in _BACKENDS:
+            raise SamplingError(
+                f"unknown sampler backend {backend!r}; expected one of {_BACKENDS}"
+            )
         self.provider = provider
+        self.backend = backend
+        self._csr: CsrAdjacency | None = None
+        self._csr_version = -1
 
+    # ------------------------------------------------------------------ #
+    # Backend / snapshot lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def resolved_backend(self) -> str:
+        """The backend actually in use (``auto`` resolved per provider)."""
+        if self.backend != "auto":
+            return self.backend
+        return "batched" if getattr(self.provider, "csr_cost_free", False) else "reference"
+
+    def csr(self) -> CsrAdjacency:
+        """The adjacency snapshot backing the batched kernels.
+
+        Built lazily from the provider; rebuilt automatically when the
+        provider's ``version`` counter moves (dynamic-graph snapshots).
+        """
+        version = getattr(self.provider, "version", 0)
+        if self._csr is None or version != self._csr_version:
+            self._csr = self.provider.csr_snapshot()
+            self._csr_version = version
+            self._on_csr_refresh()
+        return self._csr
+
+    def refresh_csr(self) -> None:
+        """Drop the CSR snapshot (and derived tables); rebuilt on next draw."""
+        self._csr = None
+        self._csr_version = -1
+        self._on_csr_refresh()
+
+    def _on_csr_refresh(self) -> None:
+        """Hook for subclasses holding tables derived from the snapshot."""
+
+    def rebind(self, provider: NeighborProvider) -> None:
+        """Point the sampler at a new provider and refresh the snapshot."""
+        self.provider = provider
+        self.refresh_csr()
+
+    # ------------------------------------------------------------------ #
+    # Draw kernels
+    # ------------------------------------------------------------------ #
     def _sample_one(
         self, vertex: int, count: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Return exactly ``count`` neighbor ids for ``vertex``.
+        """Scalar reference draw: exactly ``count`` neighbor ids of ``vertex``.
 
         Vertices without neighbors are padded with themselves.
+
+        .. deprecated:: PR 5
+            Private — the reference backend's inner kernel only. External
+            callers use :meth:`sample_children`, which batches the whole
+            frontier and works on either backend.
         """
         raise NotImplementedError
+
+    def _sample_children_batched(
+        self, vertices: np.ndarray, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized draw: ``(len(vertices), count)`` neighbor ids."""
+        raise NotImplementedError
+
+    def sample_children(
+        self, vertices: np.ndarray, count: int, rng: np.random.Generator
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Draw ``count`` children for every frontier vertex — one call.
+
+        The public batched API: returns ``(children, pad_mask)``, both of
+        shape ``(len(vertices), count)``. ``pad_mask`` marks entries equal
+        to their parent (the self-loop contract of
+        :class:`NeighborhoodSample`). On the ``batched`` backend this is a
+        handful of numpy kernel calls over the CSR snapshot; on
+        ``reference`` it loops the scalar oracle per vertex (prefetching
+        the deduplicated frontier first, so store-backed providers coalesce
+        the hop into batched RPCs).
+        """
+        if count < 1:
+            raise SamplingError(f"fan-out must be positive, got {count}")
+        vertices = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        if self.resolved_backend == "batched":
+            children = self._sample_children_batched(vertices, count, rng)
+        else:
+            self.provider.prefetch(np.unique(vertices))
+            children = np.empty((vertices.size, count), dtype=np.int64)
+            for i, v in enumerate(vertices):
+                children[i] = self._sample_one(int(v), count, rng)
+        return children, children == vertices[:, None]
 
     def sample(
         self,
@@ -96,20 +215,9 @@ class _ExpandingSampler(Sampler):
         layers = [batch]
         pad_masks: list[np.ndarray] = []
         for fanout in hop_nums:
-            prev = layers[-1]
-            # One batched (deduplicated) read of the whole frontier before
-            # the per-vertex draws — the distributed provider coalesces
-            # this hop's remote traffic into one RPC per owning server.
-            self.provider.prefetch(np.unique(prev))
-            out = np.empty(prev.size * fanout, dtype=np.int64)
-            pad = np.zeros(prev.size * fanout, dtype=bool)
-            for i, v in enumerate(prev):
-                v = int(v)
-                picked = self._sample_one(v, fanout, rng)
-                out[i * fanout : (i + 1) * fanout] = picked
-                pad[i * fanout : (i + 1) * fanout] = picked == v
-            layers.append(out)
-            pad_masks.append(pad)
+            children, pad = self.sample_children(layers[-1], fanout, rng)
+            layers.append(children.reshape(-1))
+            pad_masks.append(pad.reshape(-1))
         return NeighborhoodSample(layers=layers, hop_nums=list(hop_nums), pad_masks=pad_masks)
 
 
@@ -126,21 +234,30 @@ class UniformNeighborSampler(_ExpandingSampler):
             return np.full(count, vertex, dtype=np.int64)
         return nbrs[rng.integers(nbrs.size, size=count)]
 
+    def _sample_children_batched(
+        self, vertices: np.ndarray, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.csr().sample_uniform(vertices, count, rng)
+
 
 class WeightedNeighborSampler(_ExpandingSampler):
     """Edge-weight proportional sampling with dynamic (trainable) weights.
 
-    Per-vertex alias tables are built lazily and invalidated when
-    ``backward`` adjusts that vertex's weights — the paper's "register a
-    gradient function for the sampler" mechanism.
+    Alias tables are built lazily and invalidated when ``backward`` adjusts
+    a vertex's weights — the paper's "register a gradient function for the
+    sampler" mechanism. The batched backend keeps one
+    :class:`~repro.utils.alias.GroupedAliasTable` spanning every adjacency
+    list and rebuilds only the touched vertex's slots per update; the
+    reference backend keeps the original per-vertex tables.
     """
 
     name = "neighborhood_weighted"
 
-    def __init__(self, provider: NeighborProvider) -> None:
-        super().__init__(provider)
+    def __init__(self, provider: NeighborProvider, backend: str = "auto") -> None:
+        super().__init__(provider, backend=backend)
         self._weights: dict[int, np.ndarray] = {}
         self._tables: dict[int, AliasTable] = {}
+        self._grouped: GroupedAliasTable | None = None
         self.register_update_fn(self._apply_weight_update)
 
     def current_weights(self, vertex: int) -> np.ndarray:
@@ -164,7 +281,23 @@ class WeightedNeighborSampler(_ExpandingSampler):
             )
         updated = np.maximum(weights * np.exp(lr * grads), 1e-12)
         self._weights[vertex] = updated
-        self._tables.pop(vertex, None)  # invalidate the alias table
+        self._tables.pop(vertex, None)  # invalidate the reference table
+        if self._grouped is not None:  # patch the batched table in place
+            self._grouped.update_group(vertex, updated)
+
+    def _on_csr_refresh(self) -> None:
+        self._grouped = None
+
+    def _grouped_table(self) -> GroupedAliasTable:
+        csr = self.csr()
+        if self._grouped is None:
+            weights = csr.weights.copy()
+            for vertex, override in self._weights.items():
+                start, end = csr.indptr[vertex], csr.indptr[vertex + 1]
+                if override.size == end - start:
+                    weights[start:end] = override
+            self._grouped = GroupedAliasTable(weights, csr.indptr)
+        return self._grouped
 
     def _sample_one(
         self, vertex: int, count: int, rng: np.random.Generator
@@ -178,12 +311,19 @@ class WeightedNeighborSampler(_ExpandingSampler):
             self._tables[vertex] = table
         return nbrs[table.draw_batch(rng, count)]
 
+    def _sample_children_batched(
+        self, vertices: np.ndarray, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.csr().sample_alias(vertices, count, rng, self._grouped_table())
+
 
 class TopKNeighborSampler(_ExpandingSampler):
     """Deterministic heaviest-``count`` neighbors (ties by id).
 
     Repeats the heaviest neighbors cyclically when the fan-out exceeds the
-    degree so output stays aligned.
+    degree so output stays aligned. Both backends produce identical output
+    (the batched kernel gathers through the snapshot's cached per-row
+    weight ranking).
     """
 
     name = "neighborhood_topk"
@@ -200,6 +340,11 @@ class TopKNeighborSampler(_ExpandingSampler):
         reps = int(np.ceil(count / top.size))
         return np.tile(top, reps)[:count]
 
+    def _sample_children_batched(
+        self, vertices: np.ndarray, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.csr().sample_ranked(vertices, count)
+
 
 class ImportanceNeighborSampler(_ExpandingSampler):
     """Degree-proportional importance sampling (FastGCN/AS-GCN family).
@@ -207,18 +352,30 @@ class ImportanceNeighborSampler(_ExpandingSampler):
     Samples neighbor ``u`` of ``v`` with probability proportional to
     ``deg(u)^beta`` (``beta=1`` emphasizes hubs; FastGCN's q(u) ∝ deg).
     ``inclusion_probability`` exposes the per-draw probabilities so callers
-    can build unbiased (importance-weighted) aggregations.
+    can build unbiased (importance-weighted) aggregations. The batched
+    backend packs ``deg^beta`` scores for every adjacency slot into one
+    grouped alias table.
     """
 
     name = "neighborhood_importance"
 
-    def __init__(self, provider: NeighborProvider, degrees: np.ndarray, beta: float = 1.0):
-        super().__init__(provider)
+    def __init__(
+        self,
+        provider: NeighborProvider,
+        degrees: np.ndarray,
+        beta: float = 1.0,
+        backend: str = "auto",
+    ):
+        super().__init__(provider, backend=backend)
         degrees = np.asarray(degrees, dtype=np.float64)
         if degrees.ndim != 1:
             raise SamplingError("degrees must be a 1-D vector")
         self.beta = beta
         self._scores = np.power(np.maximum(degrees, 1.0), beta)
+        self._grouped: GroupedAliasTable | None = None
+
+    def _on_csr_refresh(self) -> None:
+        self._grouped = None
 
     def inclusion_probability(self, vertex: int) -> np.ndarray:
         """p(u | v) over ``v``'s neighbor list (sums to 1)."""
@@ -227,6 +384,12 @@ class ImportanceNeighborSampler(_ExpandingSampler):
             return np.zeros(0, dtype=np.float64)
         scores = self._scores[nbrs]
         return scores / scores.sum()
+
+    def _grouped_table(self) -> GroupedAliasTable:
+        csr = self.csr()
+        if self._grouped is None:
+            self._grouped = GroupedAliasTable(self._scores[csr.indices], csr.indptr)
+        return self._grouped
 
     def _sample_one(
         self, vertex: int, count: int, rng: np.random.Generator
@@ -237,18 +400,29 @@ class ImportanceNeighborSampler(_ExpandingSampler):
         probs = self.inclusion_probability(vertex)
         return nbrs[rng.choice(nbrs.size, size=count, p=probs)]
 
+    def _sample_children_batched(
+        self, vertices: np.ndarray, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.csr().sample_alias(vertices, count, rng, self._grouped_table())
+
 
 class FullNeighborSampler(_ExpandingSampler):
     """No sampling: the full neighbor set, cyclically padded to ``count``.
 
     ``max_fanout`` caps hub explosion; pass the graph's max degree as the
-    fan-out to make the expansion exact.
+    fan-out to make the expansion exact. Both backends produce identical
+    output.
     """
 
     name = "neighborhood_full"
 
-    def __init__(self, provider: NeighborProvider, max_fanout: int = 512) -> None:
-        super().__init__(provider)
+    def __init__(
+        self,
+        provider: NeighborProvider,
+        max_fanout: int = 512,
+        backend: str = "auto",
+    ) -> None:
+        super().__init__(provider, backend=backend)
         if max_fanout < 1:
             raise SamplingError("max_fanout must be positive")
         self.max_fanout = max_fanout
@@ -262,3 +436,8 @@ class FullNeighborSampler(_ExpandingSampler):
         take = nbrs[: min(self.max_fanout, nbrs.size)]
         reps = int(np.ceil(count / take.size))
         return np.tile(take, reps)[:count]
+
+    def _sample_children_batched(
+        self, vertices: np.ndarray, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.csr().sample_leading(vertices, count, max_take=self.max_fanout)

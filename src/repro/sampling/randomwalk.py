@@ -13,6 +13,8 @@ import numpy as np
 from repro.errors import SamplingError
 from repro.graph.ahg import AttributedHeterogeneousGraph
 from repro.graph.graph import Graph
+from repro.sampling.kernels import CsrAdjacency
+from repro.utils.alias import GroupedAliasTable
 
 
 def random_walks(
@@ -21,12 +23,26 @@ def random_walks(
     length: int,
     rng: np.random.Generator,
     weighted: bool = False,
+    backend: str = "batched",
 ) -> "list[np.ndarray]":
-    """Uniform (or weight-proportional) walks of ``length`` steps per start."""
+    """Uniform (or weight-proportional) walks of ``length`` steps per start.
+
+    The ``batched`` backend steps *all* walks in lock-step over a CSR
+    snapshot — one vectorized draw per step for the whole frontier of alive
+    walks (weighted steps go through one grouped alias table spanning every
+    adjacency list). ``reference`` keeps the original per-walk scalar loop;
+    the two are distributionally equivalent but consume the RNG stream
+    differently.
+    """
     if length < 1:
         raise SamplingError(f"walk length must be positive, got {length}")
+    if backend not in ("batched", "reference"):
+        raise SamplingError(f"unknown walk backend {backend!r}")
+    starts = np.atleast_1d(np.asarray(starts, dtype=np.int64))
+    if backend == "batched":
+        return _random_walks_batched(graph, starts, length, rng, weighted)
     walks = []
-    for start in np.asarray(starts, dtype=np.int64):
+    for start in starts:
         walk = [int(start)]
         current = int(start)
         for _ in range(length):
@@ -41,6 +57,40 @@ def random_walks(
             walk.append(current)
         walks.append(np.asarray(walk, dtype=np.int64))
     return walks
+
+
+def _random_walks_batched(
+    graph: Graph,
+    starts: np.ndarray,
+    length: int,
+    rng: np.random.Generator,
+    weighted: bool,
+) -> "list[np.ndarray]":
+    """Lock-step frontier walker over a CSR snapshot."""
+    csr = CsrAdjacency.from_graph(graph)
+    table = GroupedAliasTable(csr.weights, csr.indptr) if weighted else None
+    m = starts.size
+    out = np.empty((m, length + 1), dtype=np.int64)
+    out[:, 0] = starts
+    current = starts.copy()
+    lengths = np.ones(m, dtype=np.int64)
+    alive = csr.degrees[current] > 0  # walks not yet stuck at a sink
+    for step in range(1, length + 1):
+        idx = np.flatnonzero(alive)
+        if idx.size == 0:
+            break
+        vs = current[idx]
+        if weighted:
+            flat = table.draw_for_groups(vs, 1, rng)[:, 0]
+            nxt = csr.indices[flat]
+        else:
+            slot = rng.integers(0, csr.degrees[vs])
+            nxt = csr.indices[csr.indptr[vs] + slot]
+        out[idx, step] = nxt
+        current[idx] = nxt
+        lengths[idx] += 1
+        alive[idx] = csr.degrees[nxt] > 0
+    return [out[i, : lengths[i]] for i in range(m)]
 
 
 def node2vec_walks(
