@@ -24,7 +24,19 @@ Quickstart::
 
 __version__ = "0.1.0"
 
-from repro import algorithms, data, graph, nn, ops, runtime, sampling, storage, tasks, utils
+from repro import (
+    algorithms,
+    data,
+    graph,
+    nn,
+    ops,
+    runtime,
+    sampling,
+    serving,
+    storage,
+    tasks,
+    utils,
+)
 from repro.errors import ReproError
 
 __all__ = [
@@ -35,6 +47,7 @@ __all__ = [
     "ops",
     "runtime",
     "sampling",
+    "serving",
     "storage",
     "tasks",
     "utils",

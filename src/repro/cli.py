@@ -12,6 +12,7 @@ Commands
 ``metrics-report``  sampled workload -> Prometheus text exposition
 ``prefetch-demo``   overlapped sampling: prefetch buffer + makespan model
 ``sampling-bench``  A/B the batched vs reference frontier-sampling kernels
+``serve-bench``     online serving tier under seeded load -> SLO report
 
 The CLI covers the adopt-and-script path: generate once, train many models
 against the same artifact, compare evaluations — without writing Python.
@@ -145,6 +146,49 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sb.add_argument(
         "--backend", choices=["batched", "reference"], default="batched",
         help="frontier-sampling kernel backend to run (default: batched)",
+    )
+
+    p_sv = sub.add_parser(
+        "serve-bench",
+        help="drive the online serving tier under seeded load, print the "
+        "SLO report",
+    )
+    p_sv.add_argument("--workers", type=int, default=4)
+    p_sv.add_argument("--scale", type=float, default=0.2)
+    p_sv.add_argument("--seed", type=int, default=7)
+    p_sv.add_argument(
+        "--loop", choices=["open", "closed"], default="open",
+        help="arrival process: open (Poisson) or closed (client population)",
+    )
+    p_sv.add_argument(
+        "--duration-ms", type=float, default=1000.0,
+        help="open-loop workload duration in simulated milliseconds",
+    )
+    p_sv.add_argument("--base-rps", type=float, default=300.0)
+    p_sv.add_argument("--peak-rps", type=float, default=1200.0)
+    p_sv.add_argument(
+        "--burst-mult", type=float, default=3.0,
+        help="flash-burst rate multiplier of the diurnal shape",
+    )
+    p_sv.add_argument("--clients", type=int, default=32,
+                      help="closed-loop client population")
+    p_sv.add_argument("--requests-per-client", type=int, default=20)
+    p_sv.add_argument("--think-us", type=float, default=5000.0)
+    p_sv.add_argument("--zipf", type=float, default=1.1,
+                      help="hot-key skew exponent (0 = uniform users)")
+    p_sv.add_argument("--fresh-fraction", type=float, default=0.1,
+                      help="fraction of requests demanding fresh inference")
+    p_sv.add_argument(
+        "--policy", choices=["importance", "lru", "none"],
+        default="importance", help="neighbor-cache policy of the store",
+    )
+    p_sv.add_argument(
+        "--embed-cache", type=int, default=512,
+        help="per-user embedding cache entries (0 = recompute everything)",
+    )
+    p_sv.add_argument(
+        "--metrics", action="store_true",
+        help="also print the runtime metrics table (p50/p95/p99 columns)",
     )
 
     p_fm = sub.add_parser(
@@ -452,6 +496,82 @@ def _cmd_sampling_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.data import make_dataset as _make
+    from repro.serving import (
+        ClosedLoopWorkload,
+        OpenLoopWorkload,
+        ServingConfig,
+        ServingEngine,
+        build_slo_report,
+        diurnal_rate,
+    )
+    from repro.storage import ImportanceCachePolicy, LRUCachePolicy
+    from repro.storage.cluster import make_store
+
+    policies = {
+        "importance": lambda: ImportanceCachePolicy(),
+        "lru": lambda: LRUCachePolicy(),
+        "none": lambda: None,
+    }
+    policy = policies[args.policy]()
+    graph = _make("taobao-small-sim", scale=args.scale, seed=args.seed)
+    store = make_store(
+        graph,
+        args.workers,
+        cache_policy=policy,
+        cache_budget_fraction=0.1 if policy is not None else 0.0,
+        seed=args.seed,
+    )
+    engine = ServingEngine(
+        store,
+        config=ServingConfig(embed_cache_capacity=args.embed_cache),
+        seed=args.seed,
+    )
+    users = graph.vertices_of_type("user")
+    if args.loop == "open":
+        workload = OpenLoopWorkload(
+            users,
+            duration_us=args.duration_ms * 1e3,
+            rate=diurnal_rate(
+                args.base_rps, args.peak_rps, burst_multiplier=args.burst_mult
+            ),
+            fresh_fraction=args.fresh_fraction,
+            zipf_exponent=args.zipf,
+            seed=args.seed,
+        )
+        shape = (
+            f"open loop, diurnal {args.base_rps:g}-{args.peak_rps:g} rps "
+            f"(burst x{args.burst_mult:g})"
+        )
+    else:
+        workload = ClosedLoopWorkload(
+            users,
+            n_clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            think_us=args.think_us,
+            fresh_fraction=args.fresh_fraction,
+            zipf_exponent=args.zipf,
+            seed=args.seed,
+        )
+        shape = (
+            f"closed loop, {args.clients} clients x "
+            f"{args.requests_per_client} requests, think {args.think_us:g} us"
+        )
+    records = engine.run(workload)
+    report = build_slo_report(records)
+    print(
+        report.render(
+            title=f"serve-bench: {shape}, zipf {args.zipf:g}, "
+            f"{args.policy} neighbor cache, embed cache {args.embed_cache}"
+        )
+    )
+    if args.metrics:
+        print()
+        print(engine.metrics.render())
+    return 0
+
+
 def _cmd_fault_matrix(args: argparse.Namespace) -> int:
     from repro.bench.fault_matrix import run_fault_matrix
     from repro.data import make_dataset as _make
@@ -534,6 +654,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "metrics-report": _cmd_metrics_report,
         "prefetch-demo": _cmd_prefetch_demo,
         "sampling-bench": _cmd_sampling_bench,
+        "serve-bench": _cmd_serve_bench,
     }
     try:
         return handlers[args.command](args)

@@ -109,3 +109,7 @@ class TrainingError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset generator or loader was misconfigured."""
+
+
+class ServingError(ReproError):
+    """The online serving tier was misconfigured or misused."""

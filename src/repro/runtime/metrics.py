@@ -240,13 +240,22 @@ class MetricsRegistry:
         self._histograms.clear()
 
     def summary_rows(self) -> "list[list]":
-        """Rows of ``[name, type, count/value, mean, p50, p95]``, sorted."""
+        """Rows of ``[name, type, count/value, mean, p50, p95, p99]``, sorted.
+
+        Histograms report the full tail (p50/p95/p99) so SLO tables — the
+        serving tier's per-class latency rows included — come straight from
+        the registry without re-deriving percentiles.
+        """
         rows: list[list] = []
         for name in sorted(self._counters):
-            rows.append([name, "counter", self._counters[name].value, "", "", ""])
+            rows.append(
+                [name, "counter", self._counters[name].value, "", "", "", ""]
+            )
         for name in sorted(self._gauges):
             g = self._gauges[name]
-            rows.append([name, "gauge", g.value, "", "", f"hw={g.high_water:.4g}"])
+            rows.append(
+                [name, "gauge", g.value, "", "", f"hw={g.high_water:.4g}", ""]
+            )
         for name in sorted(self._histograms):
             h = self._histograms[name]
             rows.append(
@@ -257,6 +266,7 @@ class MetricsRegistry:
                     round(h.mean, 3),
                     round(h.percentile(50), 3),
                     round(h.percentile(95), 3),
+                    round(h.percentile(99), 3),
                 ]
             )
         return rows
@@ -264,7 +274,7 @@ class MetricsRegistry:
     def render(self, title: str = "runtime metrics") -> str:
         """Aligned plain-text summary table of every registered metric."""
         return format_table(
-            ["metric", "type", "count/value", "mean", "p50", "p95"],
+            ["metric", "type", "count/value", "mean", "p50", "p95", "p99"],
             self.summary_rows(),
             title=title,
         )

@@ -1,0 +1,79 @@
+"""Request and result envelopes of the online serving tier.
+
+AliGraph exists to answer recommendation queries, and those queries come in
+two operationally different shapes (GLISP draws the same line between its
+offline training and online inference subsystems):
+
+* **cached** — "give me this user's embedding": a read against the
+  precomputed per-user embedding table. Cheap, latency-critical, the
+  overwhelming majority of traffic.
+* **fresh** — "recompute this user against the live graph": an on-demand
+  k-hop sampling pass through the distributed store followed by a forward
+  aggregation. Expensive, tolerant of a looser deadline, issued when the
+  cached answer is too stale (a user just clicked something new).
+
+A :class:`ServeRequest` carries one query through admission, queueing and
+service; the engine emits one :class:`ServeRecord` per request — the
+**request trace** — which is the unit of the determinism contract: two
+same-seed runs produce identical record lists, field for field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Request classes (the admission controller bounds each independently).
+CLASS_CACHED = "cached"
+CLASS_FRESH = "fresh"
+REQUEST_CLASSES = (CLASS_CACHED, CLASS_FRESH)
+
+#: Terminal outcomes of a request.
+OUTCOME_OK = "ok"  # served within its deadline
+OUTCOME_LATE = "late"  # served, but past its deadline (not goodput)
+OUTCOME_SHED = "shed"  # rejected at admission (class queue full)
+OUTCOME_DEADLINE = "deadline"  # dropped at dequeue: already expired
+OUTCOMES = (OUTCOME_OK, OUTCOME_LATE, OUTCOME_SHED, OUTCOME_DEADLINE)
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One inference query entering the engine.
+
+    ``deadline_us`` is absolute (virtual-clock time by which the answer is
+    useful); ``client_id`` is set on closed-loop traffic so the completion
+    can wake the issuing client.
+    """
+
+    req_id: int
+    user: int
+    cls: str
+    arrival_us: float
+    deadline_us: float
+    client_id: "int | None" = None
+
+
+@dataclass(frozen=True)
+class ServeRecord:
+    """One row of the request trace: what happened to one request.
+
+    ``queue_us`` is time spent admitted-but-waiting, ``service_us`` the
+    time on the server (0 for shed/expired requests), ``end_us`` the
+    moment the terminal outcome was decided. ``cache_hit`` records whether
+    a cached-class read was answered from the embedding cache (False also
+    for every fresh-class request).
+    """
+
+    req_id: int
+    user: int
+    cls: str
+    outcome: str
+    arrival_us: float
+    end_us: float
+    queue_us: float
+    service_us: float
+    cache_hit: bool = False
+
+    @property
+    def latency_us(self) -> float:
+        """Arrival-to-answer latency (shed requests answer instantly)."""
+        return self.end_us - self.arrival_us

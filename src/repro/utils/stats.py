@@ -7,6 +7,12 @@ benchmarks need chi-square p-values for that; to keep the repo dependency-
 free these are computed here from scratch via the regularized incomplete
 gamma function (series + continued-fraction forms, Numerical Recipes style)
 rather than pulling in scipy.
+
+The module also hosts the seeded :class:`ZipfSampler` — the hot-key skew
+generator behind the serving tier's load shapes (and a reusable building
+block for hub-weighted workloads elsewhere): rank-``r`` of a population of
+``n`` keys is drawn with probability proportional to ``r ** -exponent``,
+the canonical model of "a few users dominate the traffic".
 """
 
 from __future__ import annotations
@@ -107,6 +113,54 @@ def chi_square_gof(counts: np.ndarray, probs: np.ndarray) -> "tuple[float, float
     if df < 1:
         return stat, 1.0
     return stat, chi2_sf(stat, df)
+
+
+def zipf_probs(n: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalized Zipf probabilities over ranks ``1..n``.
+
+    ``probs[r] ∝ (r + 1) ** -exponent`` (0-indexed), so index 0 is the
+    hottest key. ``exponent`` may be any non-negative value; 0 degrades to
+    the uniform distribution, which makes "skew off" a parameter choice
+    rather than a separate code path.
+    """
+    if n < 1:
+        raise ReproError(f"zipf population must be >= 1, got {n}")
+    if exponent < 0:
+        raise ReproError(f"zipf exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    probs = ranks ** -float(exponent)
+    return probs / probs.sum()
+
+
+class ZipfSampler:
+    """Seeded hot-key sampler: rank-skewed draws from a fixed population.
+
+    ``population`` is an id array whose *order defines hotness* (index 0 is
+    rank 1, the hottest). Draws are vectorized — inverse-CDF via
+    ``np.searchsorted`` on the precomputed cumulative distribution — and
+    consume the caller's RNG stream, so two same-seed runs replay the same
+    key sequence bit for bit.
+    """
+
+    def __init__(
+        self, population: "np.ndarray | int", exponent: float = 1.1
+    ) -> None:
+        if isinstance(population, (int, np.integer)):
+            population = np.arange(int(population), dtype=np.int64)
+        self.population = np.asarray(population).reshape(-1)
+        self.exponent = float(exponent)
+        self.probs = zipf_probs(self.population.size, exponent)
+        self._cdf = np.cumsum(self.probs)
+        # Guard the last bin against floating-point undershoot so a draw of
+        # u -> 1.0 can never index past the population.
+        self._cdf[-1] = 1.0
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` keys (with replacement) from the population."""
+        if size < 0:
+            raise ReproError(f"sample size must be >= 0, got {size}")
+        idx = np.searchsorted(self._cdf, rng.random(size), side="right")
+        return self.population[idx]
 
 
 def chi_square_homogeneity(

@@ -130,10 +130,21 @@ def test_registry_render_and_reset():
     reg.histogram("c").observe(1.0)
     table = reg.render(title="demo metrics")
     assert "demo metrics" in table
+    assert "p99" in table  # SLO tables read the tail straight off the registry
     for name, kind in (("a", "counter"), ("b", "gauge"), ("c", "histogram")):
         assert name in table and kind in table
     reg.reset()
     assert reg.summary_rows() == []
+
+
+def test_summary_rows_report_exact_tail_percentiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_us")
+    for v in range(1, 101):  # 1..100: p50=50, p95=95, p99=99 (nearest rank)
+        h.observe(float(v))
+    (row,) = reg.summary_rows()
+    assert row[0] == "lat_us" and row[1] == "histogram"
+    assert row[4:] == [50.0, 95.0, 99.0]
 
 
 # --------------------------------------------------------------------- #

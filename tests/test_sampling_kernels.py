@@ -23,7 +23,12 @@ from repro.sampling.negative import DegreeBiasedNegativeSampler, UniformNegative
 from repro.sampling.randomwalk import random_walks
 from repro.utils.alias import AliasTable, GroupedAliasTable, build_alias_arrays
 from repro.utils.rng import make_rng
-from repro.utils.stats import chi_square_gof, chi_square_homogeneity
+from repro.utils.stats import (
+    ZipfSampler,
+    chi_square_gof,
+    chi_square_homogeneity,
+    zipf_probs,
+)
 
 P_FLOOR = 1e-4  # equivalence tests: H0 true, so p is uniform on [0, 1]
 
@@ -413,6 +418,42 @@ class TestBackendSelection:
         batched = UniformNeighborSampler(provider, backend="batched")
         out = batched.sample(np.array([1, 2, 3]), [4], make_rng(0))
         assert out.layers[1].size == 12
+
+    def test_zipf_probs_normalized_and_monotone(self):
+        probs = zipf_probs(50, exponent=1.2)
+        assert probs.shape == (50,)
+        assert np.isclose(probs.sum(), 1.0)
+        assert np.all(np.diff(probs) < 0)  # strictly rank-decreasing
+        # exponent 0 degenerates to uniform.
+        assert np.allclose(zipf_probs(8, exponent=0.0), 1.0 / 8)
+
+    def test_zipf_sampler_chi_square_matches_law(self):
+        n = 40
+        sampler = ZipfSampler(n, exponent=1.1)
+        draws = sampler.sample(30_000, make_rng(13))
+        counts = np.bincount(draws, minlength=n)
+        _, p = chi_square_gof(counts, zipf_probs(n, exponent=1.1))
+        assert p > P_FLOOR, f"Zipf draws diverge from the law (p={p:.2e})"
+
+    def test_zipf_sampler_population_and_determinism(self):
+        population = np.array([7, 99, 3, 42], dtype=np.int64)
+        sampler = ZipfSampler(population, exponent=1.5)
+        a = sampler.sample(64, make_rng(5))
+        b = ZipfSampler(population, exponent=1.5).sample(64, make_rng(5))
+        assert np.array_equal(a, b)
+        assert set(a.tolist()) <= set(population.tolist())
+        # Rank 1 (value 7) must dominate under a strong exponent.
+        assert np.mean(a == 7) > np.mean(a == 42)
+
+    def test_zipf_validation(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            zipf_probs(0)
+        with pytest.raises(ReproError):
+            zipf_probs(4, exponent=-0.5)
+        with pytest.raises(ReproError):
+            ZipfSampler(np.array([], dtype=np.int64))
 
     def test_snapshot_provider_exposes_versioned_csr(self):
         dyn = dynamic_taobao(n_vertices=200, n_timestamps=3, seed=1)
