@@ -81,6 +81,57 @@ def train_skipgram(
     return last_loss
 
 
+def train_skipgram_kv(
+    pairs: tuple[np.ndarray, np.ndarray],
+    kv_center: "object",
+    kv_context: "object",
+    negative_sampler: DegreeBiasedNegativeSampler,
+    rng: np.random.Generator,
+    epochs: int = 2,
+    batch_size: int = 1024,
+    neg_num: int = 5,
+    from_part: int = 0,
+) -> float:
+    """SGNS against parameter-server embedding tables.
+
+    The KV twin of :func:`train_skipgram`: same shuffling, batching and
+    negative sampling (the RNG consumption is identical, so the two paths
+    see the same batches), but embeddings live in
+    :class:`~repro.storage.embedding.EmbeddingKVStore` tables. Each step
+    pulls the deduplicated union of the ids a table needs **once** (one
+    coalesced request per remote shard), runs the loss over the pulled
+    block, and pushes the coalesced row gradients back — the server applies
+    the sparse optimizer update, so untouched rows are never written.
+    """
+    centers, contexts = pairs
+    if centers.size != contexts.size or centers.size == 0:
+        raise TrainingError("need equal, non-empty center/context arrays")
+    last_loss = float("inf")
+    for _ in range(epochs):
+        perm = rng.permutation(centers.size)
+        losses = []
+        for lo in range(0, centers.size, batch_size):
+            idx = perm[lo : lo + batch_size]
+            c_ids = centers[idx]
+            u_ids = contexts[idx]
+            neg_ids = negative_sampler.sample(c_ids, neg_num, rng).reshape(-1)
+            mb_center = kv_center.minibatch(c_ids, from_part=from_part)
+            mb_context = kv_context.minibatch(
+                u_ids, neg_ids, from_part=from_part
+            )
+            loss = skipgram_negative_loss(
+                mb_center.lookup(c_ids),
+                mb_context.lookup(u_ids),
+                mb_context.lookup(neg_ids),
+            )
+            loss.backward()
+            mb_center.push()
+            mb_context.push()
+            losses.append(loss.item())
+        last_loss = float(np.mean(losses))
+    return last_loss
+
+
 def default_optimizer(params: "list[Tensor]", lr: float = 0.025) -> Optimizer:
     """The optimizer the walk-based models default to."""
     return Adam(params, lr=lr)

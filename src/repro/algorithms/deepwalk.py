@@ -13,9 +13,12 @@ from repro.algorithms.base import (
     EmbeddingModel,
     default_optimizer,
     train_skipgram,
+    train_skipgram_kv,
     unit_rows,
 )
+from repro.errors import TrainingError
 from repro.graph.graph import Graph
+from repro.nn.init import embedding_init
 from repro.nn.layers import Embedding
 from repro.sampling.negative import DegreeBiasedNegativeSampler
 from repro.sampling.randomwalk import random_walks, walk_context_pairs
@@ -23,7 +26,15 @@ from repro.utils.rng import make_rng
 
 
 class DeepWalk(EmbeddingModel):
-    """Random-walk skip-gram embeddings."""
+    """Random-walk skip-gram embeddings.
+
+    ``backend="dense"`` (the default) trains in process with dense tables;
+    ``backend="kv"`` trains the same pairs against a partitioned
+    :class:`~repro.storage.embedding.EmbeddingKVStore` over ``kv_workers``
+    simulated servers — batched deduplicated pulls, row-sparse pushes,
+    server-side sparse-Adam updates — leaving the fitted store on
+    :attr:`kv_store` for inspection (ledger, metrics, RPC counts).
+    """
 
     name = "deepwalk"
 
@@ -37,7 +48,14 @@ class DeepWalk(EmbeddingModel):
         neg_num: int = 5,
         lr: float = 0.025,
         seed: int = 0,
+        backend: str = "dense",
+        kv_workers: int = 4,
+        kv_staleness: int = 0,
     ) -> None:
+        if backend not in ("dense", "kv"):
+            raise TrainingError(
+                f"unknown embedding backend {backend!r} (dense or kv)"
+            )
         self.dim = dim
         self.walks_per_vertex = walks_per_vertex
         self.walk_length = walk_length
@@ -46,6 +64,11 @@ class DeepWalk(EmbeddingModel):
         self.neg_num = neg_num
         self.lr = lr
         self.seed = seed
+        self.backend = backend
+        self.kv_workers = kv_workers
+        self.kv_staleness = kv_staleness
+        #: The distributed store a ``backend="kv"`` fit trained against.
+        self.kv_store = None
         self._embeddings: np.ndarray | None = None
         self.final_loss = float("inf")
 
@@ -57,6 +80,8 @@ class DeepWalk(EmbeddingModel):
     def fit(self, graph: Graph) -> "DeepWalk":
         rng = make_rng(self.seed)
         pairs = walk_context_pairs(self._walks(graph, rng), self.window)
+        if self.backend == "kv":
+            return self._fit_kv(graph, rng, pairs)
         center = Embedding(graph.n_vertices, self.dim, rng)
         context = Embedding(graph.n_vertices, self.dim, rng)
         optimizer = default_optimizer(center.parameters() + context.parameters(), self.lr)
@@ -71,6 +96,48 @@ class DeepWalk(EmbeddingModel):
             neg_num=self.neg_num,
         )
         self._embeddings = unit_rows(center.table.numpy())
+        return self
+
+    def _fit_kv(
+        self,
+        graph: Graph,
+        rng: np.random.Generator,
+        pairs: tuple[np.ndarray, np.ndarray],
+    ) -> "DeepWalk":
+        """Train against parameter-server tables on a simulated cluster.
+
+        Tables are initialized by the same ``embedding_init`` draws, in the
+        same order, as the dense path's :class:`Embedding` layers, so the
+        two backends start from identical values.
+        """
+        from repro.storage.cluster import make_store
+        from repro.storage.embedding import EmbeddingKVStore
+
+        n = graph.n_vertices
+        store = make_store(graph, self.kv_workers, seed=self.seed)
+        center = EmbeddingKVStore(
+            store, n, self.dim, name=f"{self.name}.center",
+            optimizer="adam", lr=self.lr,
+            staleness=self.kv_staleness,
+            init=embedding_init((n, self.dim), rng),
+        )
+        context = EmbeddingKVStore(
+            store, n, self.dim, name=f"{self.name}.context",
+            optimizer="adam", lr=self.lr,
+            staleness=self.kv_staleness,
+            init=embedding_init((n, self.dim), rng),
+        )
+        self.final_loss = train_skipgram_kv(
+            pairs,
+            kv_center=center,
+            kv_context=context,
+            negative_sampler=DegreeBiasedNegativeSampler(graph),
+            rng=rng,
+            epochs=self.epochs,
+            neg_num=self.neg_num,
+        )
+        self.kv_store = store
+        self._embeddings = unit_rows(center.materialize())
         return self
 
     def embeddings(self) -> np.ndarray:

@@ -11,7 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import EmbeddingModel, unit_rows
+from repro.errors import TrainingError
 from repro.graph.graph import Graph
+from repro.nn.init import embedding_init
 from repro.nn.layers import Embedding
 from repro.nn.loss import skipgram_negative_loss
 from repro.nn.optim import Adam
@@ -21,7 +23,16 @@ from repro.utils.rng import make_rng
 
 
 class LINE(EmbeddingModel):
-    """First + second order proximity embeddings."""
+    """First + second order proximity embeddings.
+
+    ``backend="kv"`` trains the three tables (first-order, second-order,
+    second-order context) as partitioned
+    :class:`~repro.storage.embedding.EmbeddingKVStore` tables over
+    ``kv_workers`` simulated servers: each step pulls every table's
+    deduplicated id union once and pushes row-sparse gradients back, the
+    servers applying sparse-Adam in place. The fitted store stays on
+    :attr:`kv_store`. The default stays the dense in-process path.
+    """
 
     name = "line"
 
@@ -33,21 +44,35 @@ class LINE(EmbeddingModel):
         neg_num: int = 5,
         lr: float = 0.02,
         seed: int = 0,
+        backend: str = "dense",
+        kv_workers: int = 4,
+        kv_staleness: int = 0,
     ) -> None:
         if dim % 2:
             raise ValueError("LINE splits dim across two orders; use an even dim")
+        if backend not in ("dense", "kv"):
+            raise TrainingError(
+                f"unknown embedding backend {backend!r} (dense or kv)"
+            )
         self.dim = dim
         self.steps = steps
         self.batch_size = batch_size
         self.neg_num = neg_num
         self.lr = lr
         self.seed = seed
+        self.backend = backend
+        self.kv_workers = kv_workers
+        self.kv_staleness = kv_staleness
+        #: The distributed store a ``backend="kv"`` fit trained against.
+        self.kv_store = None
         self._embeddings: np.ndarray | None = None
 
     def fit(self, graph: Graph) -> "LINE":
         rng = make_rng(self.seed)
         half = self.dim // 2
         n = graph.n_vertices
+        if self.backend == "kv":
+            return self._fit_kv(graph, rng, half, n)
         first = Embedding(n, half, rng)
         second = Embedding(n, half, rng)
         second_ctx = Embedding(n, half, rng)
@@ -71,6 +96,50 @@ class LINE(EmbeddingModel):
             optimizer.step()
         self._embeddings = unit_rows(
             np.concatenate([first.table.numpy(), second.table.numpy()], axis=1)
+        )
+        return self
+
+    def _fit_kv(
+        self, graph: Graph, rng: np.random.Generator, half: int, n: int
+    ) -> "LINE":
+        """Edge-sampled training against parameter-server tables."""
+        from repro.storage.cluster import make_store
+        from repro.storage.embedding import EmbeddingKVStore
+
+        store = make_store(graph, self.kv_workers, seed=self.seed)
+
+        def table(name: str) -> EmbeddingKVStore:
+            return EmbeddingKVStore(
+                store, n, half, name=f"line.{name}",
+                optimizer="adam", lr=self.lr,
+                staleness=self.kv_staleness,
+                init=embedding_init((n, half), rng),
+            )
+
+        first, second, second_ctx = table("first"), table("second"), table("ctx")
+        edges = EdgeTraverseSampler(graph, weighted=True)
+        negs = DegreeBiasedNegativeSampler(graph)
+        for _ in range(self.steps):
+            src, dst = edges.sample(self.batch_size, rng)
+            neg_ids = negs.sample(src, self.neg_num, rng).reshape(-1)
+            mb_first = first.minibatch(src, dst, neg_ids)
+            mb_second = second.minibatch(src)
+            mb_ctx = second_ctx.minibatch(dst, neg_ids)
+            loss1 = skipgram_negative_loss(
+                mb_first.lookup(src), mb_first.lookup(dst),
+                mb_first.lookup(neg_ids),
+            )
+            loss2 = skipgram_negative_loss(
+                mb_second.lookup(src), mb_ctx.lookup(dst),
+                mb_ctx.lookup(neg_ids),
+            )
+            (loss1 + loss2).backward()
+            mb_first.push()
+            mb_second.push()
+            mb_ctx.push()
+        self.kv_store = store
+        self._embeddings = unit_rows(
+            np.concatenate([first.materialize(), second.materialize()], axis=1)
         )
         return self
 

@@ -44,10 +44,22 @@ def _model_factories():
         Node2Vec,
     )
 
+    def _kv_kwargs(a):
+        """Embedding-backend knobs of the KV-capable models."""
+        return {
+            "backend": getattr(a, "backend", "dense"),
+            "kv_workers": getattr(a, "kv_workers", 4),
+            "kv_staleness": getattr(a, "kv_staleness", 0),
+        }
+
     return {
-        "deepwalk": lambda a: DeepWalk(dim=a.dim, epochs=a.epochs, seed=a.seed),
-        "node2vec": lambda a: Node2Vec(dim=a.dim, epochs=a.epochs, seed=a.seed),
-        "line": lambda a: LINE(dim=a.dim, seed=a.seed),
+        "deepwalk": lambda a: DeepWalk(
+            dim=a.dim, epochs=a.epochs, seed=a.seed, **_kv_kwargs(a)
+        ),
+        "node2vec": lambda a: Node2Vec(
+            dim=a.dim, epochs=a.epochs, seed=a.seed, **_kv_kwargs(a)
+        ),
+        "line": lambda a: LINE(dim=a.dim, seed=a.seed, **_kv_kwargs(a)),
         "netmf": lambda a: NetMF(dim=a.dim),
         "graphsage": lambda a: GraphSAGE(dim=a.dim, epochs=a.epochs, seed=a.seed),
         "gatne": lambda a: GATNE(dim=a.dim, epochs=a.epochs, seed=a.seed),
@@ -84,6 +96,20 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="hide this edge fraction before training (for later evaluate)",
+    )
+    p_tr.add_argument(
+        "--backend", choices=["dense", "kv"], default="dense",
+        help="embedding backend for deepwalk/node2vec/line: in-process "
+        "dense tables or the parameter-server KV store (default: dense)",
+    )
+    p_tr.add_argument(
+        "--kv-workers", type=int, default=4,
+        help="embedding servers of the kv backend (default: 4)",
+    )
+    p_tr.add_argument(
+        "--kv-staleness", type=int, default=0,
+        help="bounded-staleness window of kv pulls, in push rounds "
+        "(default: 0 = exact reads)",
     )
 
     def _add_workload_args(p, drop_rate: float) -> None:
@@ -264,6 +290,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"wrote {args.output}: {embeddings.shape[0]} x {embeddings.shape[1]} "
         f"embeddings from {args.model}"
     )
+    store = getattr(model, "kv_store", None)
+    if store is not None:
+        rpcs = store.runtime.metrics.counter("rpc.requests").value
+        print(
+            f"kv backend: {store.n_workers} embedding servers, "
+            f"{rpcs} batched RPCs, modelled "
+            f"{store.ledger.modelled_millis():.1f} ms of traffic"
+        )
     return 0
 
 

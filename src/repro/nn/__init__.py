@@ -18,9 +18,9 @@ from repro.nn.loss import (
     mse,
     skipgram_negative_loss,
 )
-from repro.nn.optim import SGD, Adagrad, Adam
+from repro.nn.optim import SGD, Adagrad, Adam, SparseAdagrad, SparseAdam
 from repro.nn.rnn import GRUCell, LSTMCell
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import SparseGrad, Tensor
 
 __all__ = [
     "Tensor",
@@ -36,6 +36,9 @@ __all__ = [
     "SGD",
     "Adam",
     "Adagrad",
+    "SparseAdam",
+    "SparseAdagrad",
+    "SparseGrad",
     "xavier_uniform",
     "he_uniform",
     "bce_with_logits",

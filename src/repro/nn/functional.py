@@ -215,6 +215,27 @@ def mean_rows_segmented(x: Tensor, segment_size: int) -> Tensor:
     return Tensor(out, _parents=(x,), _backward=backward)
 
 
+def sum_rows_segmented(x: Tensor, segment_size: int) -> Tensor:
+    """Sum over fixed-size row segments: ``(B*s, d) -> (B, d)``.
+
+    The un-normalized AGGREGATE: one reduction kernel, no round trip
+    through a mean (summing as ``mean * s`` costs a second elementwise
+    pass and a divide/multiply of avoidable float error).
+    """
+    n, d = x.shape
+    if n % segment_size != 0:
+        raise OperatorError(
+            f"row count {n} not divisible by segment size {segment_size}"
+        )
+    batch = n // segment_size
+    out = x.data.reshape(batch, segment_size, d).sum(axis=1)
+
+    def backward(g: np.ndarray) -> "list[tuple[Tensor, np.ndarray]]":
+        return [(x, np.repeat(g, segment_size, axis=0))]
+
+    return Tensor(out, _parents=(x,), _backward=backward)
+
+
 def max_rows_segmented(x: Tensor, segment_size: int) -> Tensor:
     """Max over fixed-size row segments (max-pooling AGGREGATE)."""
     n, d = x.shape

@@ -36,10 +36,18 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     if logits.ndim != 2 or labels.shape != (logits.shape[0],):
         raise OperatorError("cross_entropy expects (n, k) logits and (n,) labels")
     logp = F.log_softmax(logits, axis=-1)
-    picked = logp.gather_rows(np.arange(labels.size))  # no-op gather keeps graph
-    onehot = np.zeros(logits.shape)
-    onehot[np.arange(labels.size), labels] = 1.0
-    return -(picked * onehot).sum() * (1.0 / labels.size)
+    n = labels.size
+    rows = np.arange(n)
+
+    def backward(g: np.ndarray) -> "list[tuple[Tensor, np.ndarray]]":
+        full = np.zeros_like(logp.data)
+        full[rows, labels] = g
+        return [(logp, full)]
+
+    # Direct (row, label) indexing: O(n) forward instead of a dense (n, k)
+    # one-hot product, with the same scatter backward.
+    picked = Tensor(logp.data[rows, labels], _parents=(logp,), _backward=backward)
+    return -picked.sum() * (1.0 / n)
 
 
 def mse(pred: Tensor, target: np.ndarray) -> Tensor:

@@ -1,4 +1,13 @@
-"""Optimizers: SGD (with momentum), Adam, Adagrad."""
+"""Optimizers: SGD (with momentum), Adam, Adagrad — plus the row-sparse
+:class:`SparseAdam` / :class:`SparseAdagrad` used by embedding training.
+
+The dense optimizers walk every parameter element per step, which is fine
+for model weights but O(table) for embedding tables whose minibatch touches
+a few hundred rows. The sparse pair consumes the ``(ids, grad_rows)``
+gradients accumulated by :meth:`~repro.nn.tensor.Tensor.gather_rows` on
+``accumulates_sparse`` leaves and updates **only the touched rows**, with
+per-row step counters for bias correction.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +15,26 @@ import numpy as np
 
 from repro.errors import TrainingError
 from repro.nn.tensor import Tensor
+
+
+def _rowwise(values: np.ndarray, ndim: int) -> np.ndarray:
+    """Shape per-row scalars for broadcasting against ``ndim``-D rows."""
+    return values.reshape((-1,) + (1,) * (ndim - 1))
+
+
+def _bias_correction(beta: float, counts: np.ndarray) -> np.ndarray:
+    """``1 - beta**t`` per row, via Python-scalar pow per unique count.
+
+    numpy's vectorized pow rounds differently from libm's in the last ulp,
+    which would break the bit-for-bit match with dense :class:`Adam`'s
+    ``beta ** self._t``. A minibatch's rows share at most a handful of
+    distinct step counts, so scalar pow per unique count costs nothing.
+    """
+    counts = np.asarray(counts)
+    out = np.empty(counts.shape, dtype=np.float64)
+    for c in np.unique(counts):
+        out[counts == c] = 1.0 - beta ** int(c)
+    return out
 
 
 class Optimizer:
@@ -54,7 +83,20 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam with bias correction."""
+    """Adam with bias correction.
+
+    .. note:: **Dense-vs-sparse semantics.** Once a row of ``_m`` is
+       non-zero, this dense update keeps moving that row *every* step even
+       when its gradient is exactly zero (the momentum term decays through
+       ``m *= beta1`` but stays non-zero, and the bias-corrected update is
+       applied to the whole table). For an embedding table where each
+       minibatch touches a tiny fraction of rows, that means stale momentum
+       drags every untouched user's embedding on every step — and the step
+       itself costs O(table), not O(batch). :class:`SparseAdam` implements
+       the per-row semantics (untouched rows are bit-identical across a
+       step; momentum decay is applied lazily, only when a row is next
+       touched) and is what embedding training should use.
+    """
 
     def __init__(
         self,
@@ -102,3 +144,103 @@ class Adagrad(Optimizer):
                 continue
             acc += p.grad**2
             p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+
+def _touched(p: Tensor) -> "tuple[np.ndarray | None, np.ndarray] | None":
+    """The rows a parameter's gradient touches this step.
+
+    Returns ``(ids, grad_rows)`` — ``ids is None`` meaning *all* rows (a
+    dense gradient, e.g. a Dense layer riding in the same parameter list) —
+    or None when the parameter has no gradient at all. A sparse gradient
+    wins when both are present (a table that was only gathered never has a
+    dense gradient; mixing the two on one leaf is not supported).
+    """
+    if p.sparse_grad is not None and len(p.sparse_grad):
+        ids, rows = p.sparse_grad.coalesce()
+        return ids, rows
+    if p.grad is not None:
+        return None, p.grad
+    return None
+
+
+class SparseAdam(Optimizer):
+    """Adam that updates only the rows touched by the batch.
+
+    Maintains the same first/second-moment state as :class:`Adam` but keyed
+    per row: each row has its own step counter ``t`` (incremented only when
+    the row is touched) driving its bias correction, and momentum decay is
+    **lazy** — a row skipped for ``k`` steps keeps its moments frozen and
+    decays them once on its next touch, rather than being dragged ``k``
+    times by stale momentum as the dense update does. Untouched rows are
+    bit-identical across a step. For rows touched on every step the update
+    is bit-identical to dense :class:`Adam` (same operation order).
+
+    Parameters with plain dense gradients are updated over all rows (their
+    per-row counters advance together), so one optimizer can own a mixed
+    embedding + dense parameter list.
+    """
+
+    def __init__(
+        self,
+        params: "list[Tensor]",
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = [np.zeros(p.data.shape[0] if p.data.ndim else 1, dtype=np.int64)
+                   for p in params]
+
+    def step(self) -> None:
+        for p, m, v, t in zip(self.params, self._m, self._v, self._t):
+            grad = _touched(p)
+            if grad is None:
+                continue
+            ids, g = grad
+            if ids is None:
+                ids = slice(None)
+            t[ids] += 1
+            b1t = _rowwise(_bias_correction(self.beta1, t[ids]), g.ndim)
+            b2t = _rowwise(_bias_correction(self.beta2, t[ids]), g.ndim)
+            m_rows = self.beta1 * m[ids] + (1.0 - self.beta1) * g
+            v_rows = self.beta2 * v[ids] + (1.0 - self.beta2) * (g**2)
+            m[ids] = m_rows
+            v[ids] = v_rows
+            p.data[ids] -= self.lr * (m_rows / b1t) / (
+                np.sqrt(v_rows / b2t) + self.eps
+            )
+
+
+class SparseAdagrad(Optimizer):
+    """Adagrad that updates only the rows touched by the batch.
+
+    Adagrad has no momentum, so its touched-row math is bit-identical to
+    dense :class:`Adagrad` across *any* step sequence — the accumulator of
+    an untouched row gains exactly zero either way. What the sparse form
+    fixes is cost: the step is O(touched rows), not O(table).
+    """
+
+    def __init__(
+        self, params: "list[Tensor]", lr: float = 0.1, eps: float = 1e-8
+    ) -> None:
+        super().__init__(params, lr)
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        for p, acc in zip(self.params, self._accum):
+            grad = _touched(p)
+            if grad is None:
+                continue
+            ids, g = grad
+            if ids is None:
+                ids = slice(None)
+            acc_rows = acc[ids] + g**2
+            acc[ids] = acc_rows
+            p.data[ids] -= self.lr * g / (np.sqrt(acc_rows) + self.eps)

@@ -16,6 +16,72 @@ import numpy as np
 from repro.errors import OperatorError
 
 
+class SparseGrad:
+    """Row-sparse gradient of a 1-D/2-D leaf: ``(ids, rows)`` entries.
+
+    Embedding lookups touch a few hundred rows of a table with (potentially)
+    millions; materializing the dense scatter makes every backward pass —
+    and every optimizer step walking it — O(table) instead of O(batch).
+    ``gather_rows`` appends one ``(index, grad_rows)`` entry per lookup when
+    the leaf opts in (:attr:`Tensor.accumulates_sparse`); :meth:`coalesce`
+    merges them into unique ids with summed rows (scatter-add semantics,
+    identical to the dense accumulation it replaces).
+    """
+
+    __slots__ = ("shape", "_entries")
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.shape = shape
+        self._entries: "list[tuple[np.ndarray, np.ndarray]]" = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        """Record one lookup's contribution (ids may repeat)."""
+        self._entries.append(
+            (np.asarray(ids, dtype=np.int64), np.asarray(rows, dtype=np.float64))
+        )
+
+    def coalesce(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Merge all entries into ``(unique_ids, summed_rows)``.
+
+        Unique ids come out sorted; repeated ids (within or across entries)
+        have their gradient rows summed, **bit-identically** to the dense
+        accumulation this replaces: each entry's repeats are reduced by the
+        same bincount the dense scatter uses, and entry partial sums are
+        then added in entry order — the exact grouping of ``grad +=`` over
+        per-lookup dense scatters. Summing one flat concatenation instead
+        would regroup the additions and drift in the last ulp.
+        """
+        if not self._entries:
+            raise OperatorError("coalesce() on an empty sparse gradient")
+        uniq = np.unique(np.concatenate([e[0] for e in self._entries]))
+        first_rows = self._entries[0][1]
+        d = first_rows.shape[1] if first_rows.ndim == 2 else 0
+        summed = np.zeros((uniq.size, d) if d else uniq.size)
+        for ids, rows in self._entries:
+            inverse = np.searchsorted(uniq, ids)
+            if d:
+                flat = (inverse[:, None] * d + np.arange(d)).ravel()
+                summed += np.bincount(
+                    flat, weights=rows.ravel(), minlength=uniq.size * d
+                ).reshape(uniq.size, d)
+            else:
+                summed += np.bincount(
+                    inverse, weights=rows, minlength=uniq.size
+                )
+        return uniq, summed
+
+    def to_dense(self) -> np.ndarray:
+        """The equivalent dense gradient (tests / dense fallbacks only)."""
+        full = np.zeros(self.shape)
+        if self._entries:
+            ids, rows = self.coalesce()
+            full[ids] = rows
+        return full
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
     if grad.shape == shape:
@@ -33,7 +99,16 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy array with reverse-mode autodiff."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "sparse_grad",
+        "accumulates_sparse",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+    )
     __array_priority__ = 100  # our operators win over numpy's
 
     def __init__(
@@ -46,6 +121,10 @@ class Tensor:
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
+        #: Row-sparse gradient accumulated by ``gather_rows`` when
+        #: :attr:`accumulates_sparse` is set on this leaf (embedding tables).
+        self.sparse_grad: SparseGrad | None = None
+        self.accumulates_sparse = False
         self.requires_grad = requires_grad
         self._parents = _parents
         self._backward = _backward
@@ -93,8 +172,9 @@ class Tensor:
         self.grad += grad
 
     def zero_grad(self) -> None:
-        """Clear this tensor's gradient."""
+        """Clear this tensor's gradient (dense and sparse)."""
         self.grad = None
+        self.sparse_grad = None
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
@@ -296,11 +376,20 @@ class Tensor:
         """Row lookup ``out[i] = self[index[i]]`` with scatter-add backward.
 
         This is the embedding-lookup primitive: gradients of repeated rows
-        accumulate.
+        accumulate. When this tensor is a leaf with
+        :attr:`accumulates_sparse` set, the backward pass appends an
+        ``(index, grad_rows)`` entry to :attr:`sparse_grad` instead of
+        materializing the dense O(rows x dim) scatter — the sparse
+        optimizers consume it directly.
         """
         index = np.asarray(index, dtype=np.int64)
 
-        def backward(g: np.ndarray) -> "list[tuple[Tensor, np.ndarray]]":
+        def backward(g: np.ndarray) -> "list[tuple[Tensor, np.ndarray | None]]":
+            if self.accumulates_sparse and self.requires_grad:
+                if self.sparse_grad is None:
+                    self.sparse_grad = SparseGrad(self.data.shape)
+                self.sparse_grad.append(index, g)
+                return [(self, None)]
             # Scatter-add via bincount: ~10x faster than np.add.at for the
             # embedding-table gradients that dominate training steps.
             n, d = self.data.shape if self.data.ndim == 2 else (self.data.shape[0], 1)

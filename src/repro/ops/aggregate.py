@@ -43,7 +43,7 @@ class SumAggregator(Aggregator):
         self.dense = Dense(in_dim, out_dim, rng, activation="relu")
 
     def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
-        pooled = F.mean_rows_segmented(neighbor_states, fanout) * float(fanout)
+        pooled = F.sum_rows_segmented(neighbor_states, fanout)
         return self.dense(pooled)
 
 
@@ -120,7 +120,7 @@ class AttentionAggregator(Aggregator):
         raw = self.score(F.tanh(transformed)).reshape(batch, fanout)
         weights = F.softmax(raw, axis=-1).reshape(n, 1)
         weighted = transformed * weights
-        return F.mean_rows_segmented(weighted, fanout) * float(fanout)
+        return F.sum_rows_segmented(weighted, fanout)
 
 
 def make_aggregator(

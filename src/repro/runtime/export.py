@@ -89,10 +89,11 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     f"{base}_high_water{_label_str(labels)} {_fmt(m.high_water)}"
                 )
             else:
-                for q in SUMMARY_QUANTILES:
+                values = m.percentiles([q * 100.0 for q in SUMMARY_QUANTILES])
+                for q, value in zip(SUMMARY_QUANTILES, values):
                     lines.append(
                         f"{base}{_label_str(labels, {'quantile': repr(q)})} "
-                        f"{_fmt(m.percentile(q * 100.0))}"
+                        f"{_fmt(value)}"
                     )
                 lines.append(f"{base}_sum{_label_str(labels)} {_fmt(m.total)}")
                 lines.append(f"{base}_count{_label_str(labels)} {m.count}")

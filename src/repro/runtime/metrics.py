@@ -96,10 +96,16 @@ class Histogram:
     name: str
     samples: list = field(default_factory=list)
     labels: "LabelSet" = None
+    _total: float = field(default=0.0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._total = float(sum(self.samples))
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.samples.append(float(value))
+        value = float(value)
+        self.samples.append(value)
+        self._total += value
 
     @property
     def count(self) -> int:
@@ -108,23 +114,34 @@ class Histogram:
 
     @property
     def total(self) -> float:
-        """Sum of observations."""
-        return float(sum(self.samples))
+        """Sum of observations (tracked incrementally, not re-summed)."""
+        return self._total
 
     @property
     def mean(self) -> float:
         """Mean observation (0.0 when empty)."""
-        return self.total / self.count if self.samples else 0.0
+        return self._total / self.count if self.samples else 0.0
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile ``p`` in [0, 100] (0.0 when empty)."""
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        return self.percentiles((p,))[0]
+
+    def percentiles(self, ps: "tuple[float, ...] | list[float]") -> "list[float]":
+        """Nearest-rank percentiles for every ``p`` in ``ps``, sorting once.
+
+        Every consumer that wants a p50/p95/p99 row (summary tables, the
+        Prometheus exporter, SLO reports) should call this instead of
+        re-sorting the sample list per quantile.
+        """
+        for p in ps:
+            if not 0.0 <= p <= 100.0:
+                raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self.samples:
-            return 0.0
+            return [0.0 for _ in ps]
         ordered = sorted(self.samples)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        return [
+            ordered[max(1, math.ceil(p / 100.0 * len(ordered))) - 1] for p in ps
+        ]
 
 
 class SpanTimer:
@@ -258,15 +275,16 @@ class MetricsRegistry:
             )
         for name in sorted(self._histograms):
             h = self._histograms[name]
+            p50, p95, p99 = h.percentiles((50, 95, 99))
             rows.append(
                 [
                     name,
                     "histogram",
                     h.count,
                     round(h.mean, 3),
-                    round(h.percentile(50), 3),
-                    round(h.percentile(95), 3),
-                    round(h.percentile(99), 3),
+                    round(p50, 3),
+                    round(p95, 3),
+                    round(p99, 3),
                 ]
             )
         return rows

@@ -52,7 +52,9 @@ from repro.runtime.tracing import NULL_SPAN, NULL_TRACER, Tracer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.storage.cluster import DistributedGraphStore
 
-#: Request kinds understood by the runtime.
+#: Request kinds served by the graph store itself. Further kinds are added
+#: per-runtime by registered services (:meth:`RpcRuntime.register_service`),
+#: e.g. the embedding KV store's pull/push verbs.
 KIND_NEIGHBORS = "neighbors"
 KIND_ATTRS = "attrs"
 _KINDS = frozenset({KIND_NEIGHBORS, KIND_ATTRS})
@@ -60,7 +62,13 @@ _KINDS = frozenset({KIND_NEIGHBORS, KIND_ATTRS})
 
 @dataclass(frozen=True)
 class Request:
-    """One cross-server read envelope (a deduplicated vertex batch)."""
+    """One cross-server request envelope (a deduplicated key batch).
+
+    ``vertices`` carries the batch's keys (graph vertices or embedding row
+    ids); ``body`` is an optional opaque payload shipped *with* the request
+    — the embedding store's push verb uses it for the gradient rows. It
+    rides through retries untouched (``dataclasses.replace`` keeps it).
+    """
 
     req_id: int
     kind: str
@@ -68,16 +76,21 @@ class Request:
     dst_part: int
     vertices: "tuple[int, ...]"
     attempt: int = 1
+    body: "object | None" = None
 
 
 @dataclass
 class Response:
-    """The answer to a :class:`Request` (or its typed failure)."""
+    """The answer to a :class:`Request` (or its typed failure).
+
+    ``meta`` carries per-key scalars next to the payload rows: the IV-cache
+    flag for attribute reads, the row version for embedding pulls.
+    """
 
     req_id: int
     ok: bool
     payload: "dict[int, np.ndarray]" = field(default_factory=dict)
-    meta: "dict[int, bool]" = field(default_factory=dict)
+    meta: "dict[int, object]" = field(default_factory=dict)
     latency_us: float = 0.0
     attempts: int = 1
     error: "str | None" = None
@@ -234,6 +247,12 @@ class RpcRuntime:
         ]
         self._next_req_id = 0
         self._seq = 0
+        #: kind -> handler(request) -> (payload, meta, n_items). Services
+        #: (the embedding KV store) extend the runtime with new verbs
+        #: without touching the scheduler: registered kinds get the same
+        #: inboxes, fault injection, retries, clock accounting and metrics
+        #: as the built-in graph reads.
+        self._services: "dict[str, object]" = {}
         # Shared scheduler state: one heap orders deliveries of *all*
         # in-flight futures by (ready time, submission sequence), so
         # completion order is deterministic regardless of how many
@@ -245,11 +264,30 @@ class RpcRuntime:
     # ------------------------------------------------------------------ #
     # Request construction
     # ------------------------------------------------------------------ #
+    def register_service(self, kind: str, handler: "object") -> None:
+        """Register ``handler`` to serve requests of a new ``kind``.
+
+        ``handler(request)`` must return ``(payload, meta, n_items)`` with
+        the same shapes :meth:`_serve` produces for the built-in kinds;
+        ``n_items`` prices the response's shipping time on the virtual
+        clock. Built-in kinds cannot be overridden.
+        """
+        if kind in _KINDS:
+            raise RuntimeConfigError(f"cannot override built-in kind {kind!r}")
+        if kind in self._services:
+            raise RuntimeConfigError(f"service kind {kind!r} already registered")
+        self._services[kind] = handler
+
     def make_request(
-        self, kind: str, src_part: int, dst_part: int, vertices: "tuple[int, ...]"
+        self,
+        kind: str,
+        src_part: int,
+        dst_part: int,
+        vertices: "tuple[int, ...]",
+        body: "object | None" = None,
     ) -> Request:
         """Mint a request envelope with a fresh id."""
-        if kind not in _KINDS:
+        if kind not in _KINDS and kind not in self._services:
             raise RuntimeConfigError(f"unknown request kind {kind!r}")
         if not vertices:
             raise RuntimeConfigError("a request must carry at least one vertex")
@@ -259,6 +297,7 @@ class RpcRuntime:
             src_part=src_part,
             dst_part=dst_part,
             vertices=tuple(int(v) for v in vertices),
+            body=body,
         )
         self._next_req_id += 1
         return req
@@ -277,8 +316,12 @@ class RpcRuntime:
 
         Returns ``(payload, meta, n_items)``; for attribute reads ``meta``
         maps each vertex to whether its row was already in the IV cache
-        (the store charges decode vs cache-hit events from it).
+        (the store charges decode vs cache-hit events from it). Registered
+        service kinds dispatch to their handler instead.
         """
+        handler = self._services.get(req.kind)
+        if handler is not None:
+            return handler(req)
         server = self.store.servers[req.dst_part]
         payload: "dict[int, np.ndarray]" = {}
         meta: "dict[int, bool]" = {}

@@ -18,6 +18,11 @@ from repro.storage.cache import (
 )
 from repro.storage.cluster import DistributedGraphStore, build_distributed
 from repro.storage.costmodel import CostModel
+from repro.storage.embedding import (
+    EmbeddingKVStore,
+    EmbeddingMinibatch,
+    EmbeddingShard,
+)
 from repro.storage.importance import (
     CachePlan,
     importance_scores,
@@ -41,6 +46,9 @@ __all__ = [
     "ReplicaRegistry",
     "DistributedGraphStore",
     "build_distributed",
+    "EmbeddingKVStore",
+    "EmbeddingMinibatch",
+    "EmbeddingShard",
     "CachePlan",
     "importance_scores",
     "khop_degrees",

@@ -36,6 +36,11 @@ EV_DEGRADED_READ = "degraded_read"  # unavailable read answered with an
 # empty row because the store runs in degraded mode (opt-in)
 EV_REPLICA_REFRESH = "replica_refresh"  # fresh adjacency pushed to one
 # replica holder after a streaming edge update (re-pin)
+EV_EMB_LOCAL_ROW = "emb_row_local"  # embedding row pulled from the local shard
+EV_EMB_CACHE_HIT = "emb_cache_hit"  # embedding row served from the staleness
+# cache (no RPC, possibly a bounded number of versions behind)
+EV_EMB_ROW_UPDATE = "emb_row_update"  # one embedding row updated in place by
+# a pushed sparse gradient (server-side optimizer application)
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,9 @@ class CostModel:
     suspect_route_us: float = 120.0
     degraded_read_us: float = 0.5
     replica_refresh_us: float = 100.0
+    emb_row_local_us: float = 0.8
+    emb_cache_hit_us: float = 0.3
+    emb_row_update_us: float = 0.6
 
     def cost_table(self) -> dict[str, float]:
         """Event-name -> µs mapping consumed by :class:`CostAccumulator`."""
@@ -72,6 +80,9 @@ class CostModel:
             EV_SUSPECT_ROUTE: self.suspect_route_us,
             EV_DEGRADED_READ: self.degraded_read_us,
             EV_REPLICA_REFRESH: self.replica_refresh_us,
+            EV_EMB_LOCAL_ROW: self.emb_row_local_us,
+            EV_EMB_CACHE_HIT: self.emb_cache_hit_us,
+            EV_EMB_ROW_UPDATE: self.emb_row_update_us,
         }
 
     def accumulator(self) -> CostAccumulator:

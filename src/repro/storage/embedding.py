@@ -1,0 +1,504 @@
+"""Partitioned, versioned embedding KV store served over the RPC runtime.
+
+AliGraph trains its embedding tables through a parameter-server tier: rows
+are hash-partitioned across the graph servers, workers **pull** the rows a
+minibatch touches and **push** back row-sparse gradients, and the server
+applies the optimizer update in place. This module reproduces that tier on
+the simulated cluster:
+
+* :class:`EmbeddingShard` — one server's slice of a table (``owner = id %
+  n_parts``, ``local = id // n_parts``) plus its optimizer state. Updates
+  are applied with the *same* :class:`~repro.nn.optim.SparseAdam` /
+  :class:`~repro.nn.optim.SparseAdagrad` code the in-process dense path
+  uses, so a KV training run's touched rows are bit-identical to the
+  single-process reference.
+* :class:`EmbeddingKVStore` — the client face. ``pull``/``push`` ride the
+  :class:`~repro.runtime.rpc.RpcRuntime` as registered service kinds
+  (``emb.pull/<name>``, ``emb.push/<name>``): the same inboxes, fault
+  injection, retries, virtual-clock accounting and metrics as graph reads.
+  Reads follow the store's ``_resolve_read`` conventions — dedup up front,
+  local rows answered directly, remote rows coalesced into one request per
+  owning server, ledger events recorded client-side in deterministic order.
+* **Versions and bounded staleness** — every row carries a version bumped
+  on each applied update. The client keeps a pull cache tagged with a
+  *push-round* clock (incremented per :meth:`EmbeddingKVStore.push`); an
+  entry is served while it is at most ``staleness`` rounds old. A row's
+  version advances at most once per round it is touched, so a cache hit is
+  never more than ``staleness`` versions behind the shard — ``staleness=0``
+  still allows exact hits within the current round. Pushed rows are
+  invalidated eagerly (write-invalidate), so a worker never reads its own
+  writes stale.
+* **Failure semantics** — embedding rows have no replicas: a pull or push
+  that exhausts the retry budget raises
+  :class:`~repro.errors.RetryExhaustedError`. Transient drops and timeouts
+  are retried by the runtime; the simulation only *serves* a request on its
+  final successful delivery, so a retried push applies exactly once.
+
+:meth:`EmbeddingKVStore.minibatch` is the training-loop helper: it pulls
+the deduplicated union of a step's id arrays once, exposes differentiable
+:meth:`EmbeddingMinibatch.lookup` views over the pulled block, and
+:meth:`EmbeddingMinibatch.push` ships the coalesced row gradients back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RetryExhaustedError, StorageError
+from repro.nn.init import embedding_init
+from repro.nn.optim import SparseAdagrad, SparseAdam
+from repro.nn.tensor import SparseGrad, Tensor
+from repro.runtime.batching import RequestBatcher
+from repro.storage.costmodel import (
+    EV_EMB_CACHE_HIT,
+    EV_EMB_LOCAL_ROW,
+    EV_EMB_ROW_UPDATE,
+    EV_ITEM_SHIPPED,
+    EV_REMOTE_RPC,
+)
+from repro.utils.rng import make_rng
+
+#: Optimizers a shard can apply server-side. Both update only touched rows
+#: and match their in-process sparse counterparts bit-for-bit (they *are*
+#: the same code).
+_OPTIMIZERS = {"adam": SparseAdam, "adagrad": SparseAdagrad}
+
+
+class EmbeddingShard:
+    """One server's rows of a partitioned table, with optimizer state.
+
+    The shard owns every row whose global id hashes to its partition
+    (``id % n_parts == part``) at local index ``id // n_parts``. Pushes are
+    applied by the shard's own sparse optimizer — gradients never leave the
+    server as dense tables, and untouched rows are never written.
+    """
+
+    def __init__(
+        self,
+        part: int,
+        rows: np.ndarray,
+        optimizer: str,
+        lr: float,
+        opt_kwargs: "dict | None" = None,
+    ) -> None:
+        self.part = part
+        self.param = Tensor(rows, requires_grad=True, name=f"shard{part}")
+        self.param.accumulates_sparse = True
+        #: Per-row update counter: bumped once per applied push touching
+        #: the row. The staleness bound is stated against these.
+        self.versions = np.zeros(rows.shape[0], dtype=np.int64)
+        self.applied_pushes = 0
+        self._opt = _OPTIMIZERS[optimizer](
+            [self.param], lr=lr, **(opt_kwargs or {})
+        )
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The shard's ``(n_local, dim)`` row block (live view)."""
+        return self.param.data
+
+    def read(self, local_ids: np.ndarray) -> np.ndarray:
+        """Copies of the requested local rows."""
+        return self.param.data[local_ids].copy()
+
+    def apply(self, local_ids: np.ndarray, grad_rows: np.ndarray) -> None:
+        """Apply one coalesced gradient batch through the sparse optimizer.
+
+        ``local_ids`` must be unique (the client coalesces before
+        shipping); the optimizer state advances exactly as the in-process
+        sparse path would for the same rows and gradients.
+        """
+        sg = SparseGrad(self.param.data.shape)
+        sg.append(local_ids, grad_rows)
+        self.param.sparse_grad = sg
+        self._opt.step()
+        self.param.zero_grad()
+        self.versions[local_ids] += 1
+        self.applied_pushes += 1
+
+
+class EmbeddingMinibatch:
+    """One training step's pulled row block, with autograd lookups.
+
+    Constructed by :meth:`EmbeddingKVStore.minibatch`; ``lookup`` maps
+    global id arrays to differentiable tensors over the pulled block, and
+    ``push`` ships the accumulated row-sparse gradient back to the shards.
+    """
+
+    def __init__(
+        self,
+        kv: "EmbeddingKVStore",
+        ids: np.ndarray,
+        rows: np.ndarray,
+        from_part: int,
+    ) -> None:
+        self._kv = kv
+        #: Sorted unique global ids backing :attr:`tensor`'s rows.
+        self.ids = ids
+        self.tensor = Tensor(rows, requires_grad=True, name="minibatch")
+        self.tensor.accumulates_sparse = True
+        self._from_part = from_part
+
+    def lookup(self, ids: np.ndarray) -> Tensor:
+        """Differentiable rows for ``ids`` (must be within the minibatch)."""
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        idx = np.searchsorted(self.ids, ids)
+        idx = np.minimum(idx, self.ids.size - 1) if self.ids.size else idx
+        if self.ids.size == 0 or not np.array_equal(self.ids[idx], ids):
+            raise StorageError("lookup id outside the pulled minibatch")
+        return self.tensor.gather_rows(idx)
+
+    def push(self) -> int:
+        """Ship the accumulated gradient to the shards; rows pushed.
+
+        A no-op (returning 0) when backward never reached this minibatch.
+        Clears the local gradient so a minibatch can be pushed only once
+        per backward.
+        """
+        sg = self.tensor.sparse_grad
+        if sg is None or not len(sg):
+            return 0
+        local_ids, grad_rows = sg.coalesce()
+        self.tensor.zero_grad()
+        self._kv.push(self.ids[local_ids], grad_rows, from_part=self._from_part)
+        return int(local_ids.size)
+
+
+class EmbeddingKVStore:
+    """Hash-partitioned, versioned embedding table over the RPC runtime.
+
+    One instance is one named table; its pull/push verbs register on the
+    graph store's runtime as service kinds ``emb.pull/<name>`` and
+    ``emb.push/<name>`` (create the KV *after* attaching a custom runtime).
+    ``staleness`` bounds how many push rounds old a cached row may be
+    served; ``0`` (the default) means reads are exact.
+    """
+
+    def __init__(
+        self,
+        store: "object",
+        n_rows: int,
+        dim: int,
+        name: str = "emb",
+        optimizer: str = "adam",
+        lr: float = 1e-2,
+        opt_kwargs: "dict | None" = None,
+        staleness: int = 0,
+        init: "np.ndarray | None" = None,
+        scale: "float | None" = None,
+        seed: int = 0,
+    ) -> None:
+        if n_rows < 1 or dim < 1:
+            raise StorageError(
+                f"embedding table needs n_rows, dim >= 1, got ({n_rows}, {dim})"
+            )
+        if optimizer not in _OPTIMIZERS:
+            raise StorageError(
+                f"unknown embedding optimizer {optimizer!r} "
+                f"(choose from {sorted(_OPTIMIZERS)})"
+            )
+        if staleness < 0:
+            raise StorageError(f"staleness bound must be >= 0, got {staleness}")
+        self.store = store
+        self.n_rows = n_rows
+        self.dim = dim
+        self.name = name
+        self.staleness = staleness
+        self.runtime = store._ensure_runtime()
+        self.n_parts = store.n_workers
+        self.kind_pull = f"emb.pull/{name}"
+        self.kind_push = f"emb.push/{name}"
+        self.runtime.register_service(self.kind_pull, self._serve_pull)
+        self.runtime.register_service(self.kind_push, self._serve_push)
+        self._batcher = RequestBatcher(self.runtime.max_batch_size)
+
+        if init is None:
+            init = embedding_init((n_rows, dim), make_rng(seed), scale=scale)
+        else:
+            init = np.asarray(init, dtype=np.float64)
+            if init.shape != (n_rows, dim):
+                raise StorageError(
+                    f"init table shape {init.shape} != ({n_rows}, {dim})"
+                )
+        self.shards = [
+            EmbeddingShard(
+                p, init[p :: self.n_parts].copy(), optimizer, lr, opt_kwargs
+            )
+            for p in range(self.n_parts)
+        ]
+        #: Per-issuer pull caches: ``from_part -> {global id -> (row copy,
+        #: version at pull, push round at pull)}``. A worker's own pushes
+        #: invalidate its own cache (read-your-writes); other workers may
+        #: keep serving their cached copy until it ages past ``staleness``
+        #: rounds — that age is exactly the version lag bound, because a
+        #: row's version advances at most once per push round.
+        self._caches: "dict[int, dict[int, tuple[np.ndarray, int, int]]]" = {}
+        #: Push-round clock: bumped once per :meth:`push` call.
+        self._round = 0
+
+    # ------------------------------------------------------------------ #
+    # Server side (runtime service handlers)
+    # ------------------------------------------------------------------ #
+    def _serve_pull(self, req: "object") -> "tuple[dict, dict, int]":
+        """Serve a pull on the destination shard: rows + versions."""
+        shard = self.shards[req.dst_part]
+        payload: "dict[int, np.ndarray]" = {}
+        meta: "dict[int, object]" = {}
+        n_items = 0
+        for gid in req.vertices:
+            li = gid // self.n_parts
+            payload[gid] = shard.param.data[li].copy()
+            meta[gid] = int(shard.versions[li])
+            n_items += self.dim
+        return payload, meta, n_items
+
+    def _serve_push(self, req: "object") -> "tuple[dict, dict, int]":
+        """Apply a pushed gradient batch on the destination shard.
+
+        The simulation serves a request only on its final successful
+        delivery (drops/timeouts reschedule without serving), so retried
+        pushes apply exactly once.
+        """
+        shard = self.shards[req.dst_part]
+        ids = np.asarray(req.vertices, dtype=np.int64)
+        grad_rows = np.asarray(req.body, dtype=np.float64)
+        if grad_rows.shape != (ids.size, self.dim):
+            raise StorageError(
+                f"push body shape {grad_rows.shape} != ({ids.size}, {self.dim})"
+            )
+        shard.apply(ids // self.n_parts, grad_rows)
+        meta = {
+            int(gid): int(shard.versions[gid // self.n_parts])
+            for gid in req.vertices
+        }
+        return {}, meta, int(grad_rows.size)
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def _validate(self, ids: np.ndarray) -> np.ndarray:
+        arr = np.asarray(ids, dtype=np.int64).reshape(-1)
+        if arr.size:
+            oob = (arr < 0) | (arr >= self.n_rows)
+            if oob.any():
+                raise StorageError(
+                    f"unknown embedding row {int(arr[oob][0])} "
+                    f"(table {self.name!r} has {self.n_rows} rows)"
+                )
+        return arr
+
+    def pull(self, ids: "np.ndarray | list[int]", from_part: int = 0) -> np.ndarray:
+        """Rows for ``ids`` (duplicates allowed), aligned with the input.
+
+        Routing per unique id, in order: locally-owned shard row, staleness
+        cache, remote — remote ids coalesce into one request per owning
+        server. Ledger events mirror the graph read path: one
+        ``remote_rpc`` per batch plus ``item_shipped`` per scalar, with
+        ``emb_row_local`` / ``emb_cache_hit`` for the RPC-free arms.
+        """
+        arr = self._validate(ids)
+        if arr.size == 0:
+            return np.empty((0, self.dim))
+        with self.runtime.tracer.span(
+            "emb.pull", table=self.name, issuer=from_part
+        ) as span:
+            uniq, first_idx = np.unique(arr, return_index=True)
+            uniq = uniq[np.argsort(first_idx, kind="stable")]
+            rows = self._pull_unique(uniq, from_part, span)
+        out = np.empty((arr.size, self.dim))
+        pos = {int(g): i for i, g in enumerate(uniq.tolist())}
+        for i, g in enumerate(arr.tolist()):
+            out[i] = rows[pos[g]]
+        return out
+
+    def _pull_unique(
+        self, uniq: np.ndarray, from_part: int, span: "object"
+    ) -> np.ndarray:
+        store = self.store
+        metrics = self.runtime.metrics
+        cache = self._caches.setdefault(from_part, {})
+        rows = np.empty((uniq.size, self.dim))
+        owners = uniq % self.n_parts
+        remote_v: "list[int]" = []
+        remote_owner: "list[int]" = []
+        remote_slot: "dict[int, int]" = {}
+        cache_hits = 0
+        for i, (g, owner) in enumerate(zip(uniq.tolist(), owners.tolist())):
+            if owner == from_part:
+                store.ledger.record(EV_EMB_LOCAL_ROW)
+                rows[i] = self.shards[owner].param.data[g // self.n_parts]
+                continue
+            entry = cache.get(g)
+            if entry is not None and self._round - entry[2] <= self.staleness:
+                store.ledger.record(EV_EMB_CACHE_HIT)
+                rows[i] = entry[0]
+                cache_hits += 1
+                continue
+            remote_v.append(g)
+            remote_owner.append(owner)
+            remote_slot[g] = i
+        span.annotate(
+            rows=int(uniq.size),
+            local=int(uniq.size) - len(remote_v) - cache_hits,
+            cache_hits=cache_hits,
+            remote=len(remote_v),
+        )
+        metrics.counter("emb.pull.rows", labels={"table": self.name}).inc(
+            int(uniq.size)
+        )
+        metrics.counter("emb.pull.cache_hits", labels={"table": self.name}).inc(
+            cache_hits
+        )
+        if not remote_v:
+            return rows
+        batches = self._batcher.plan_grouped(
+            self.kind_pull,
+            np.asarray(remote_v, dtype=np.int64),
+            np.asarray(remote_owner, dtype=np.int64),
+        )
+        requests = [
+            self.runtime.make_request(b.kind, from_part, b.dst_part, b.vertices)
+            for b in batches
+        ]
+        for req, resp in zip(requests, self.runtime.execute(requests)):
+            if not resp.ok:
+                raise RetryExhaustedError(
+                    f"pull of table {self.name!r} row {req.vertices[0]}: "
+                    f"{resp.error}, and embedding rows have no replicas",
+                    resp.attempts,
+                )
+            store.ledger.record(EV_REMOTE_RPC)
+            store.ledger.record(
+                EV_ITEM_SHIPPED, times=len(resp.payload) * self.dim
+            )
+            for g, row in resp.payload.items():
+                rows[remote_slot[g]] = row
+                cache[g] = (row, int(resp.meta[g]), self._round)
+        return rows
+
+    def push(
+        self,
+        ids: "np.ndarray | list[int]",
+        grad_rows: np.ndarray,
+        from_part: int = 0,
+    ) -> None:
+        """Apply row gradients (coalescing duplicate ids by summation).
+
+        Locally-owned rows update in place; remote rows ship as one
+        request per owning server with the gradient block as the request
+        body. Advances the push-round clock and write-invalidates the
+        pushed ids in the pull cache.
+        """
+        arr = self._validate(ids)
+        grad_rows = np.asarray(grad_rows, dtype=np.float64)
+        if grad_rows.shape != (arr.size, self.dim):
+            raise StorageError(
+                f"grad shape {grad_rows.shape} != ({arr.size}, {self.dim})"
+            )
+        if arr.size == 0:
+            return
+        store = self.store
+        with self.runtime.tracer.span(
+            "emb.push", table=self.name, issuer=from_part
+        ) as span:
+            sg = SparseGrad((self.n_rows, self.dim))
+            sg.append(arr, grad_rows)
+            uniq, summed = sg.coalesce()
+            owners = uniq % self.n_parts
+            local = owners == from_part
+            n_local = int(local.sum())
+            span.annotate(rows=int(uniq.size), local=n_local)
+            if n_local:
+                self.shards[from_part].apply(
+                    uniq[local] // self.n_parts, summed[local]
+                )
+                store.ledger.record(EV_EMB_ROW_UPDATE, times=n_local)
+            remote_ids = uniq[~local]
+            if remote_ids.size:
+                batches = self._batcher.plan_grouped(
+                    self.kind_push, remote_ids, owners[~local]
+                )
+                requests = []
+                for b in batches:
+                    slots = np.searchsorted(uniq, np.asarray(b.vertices))
+                    requests.append(
+                        self.runtime.make_request(
+                            b.kind,
+                            from_part,
+                            b.dst_part,
+                            b.vertices,
+                            body=summed[slots],
+                        )
+                    )
+                for req, resp in zip(requests, self.runtime.execute(requests)):
+                    if not resp.ok:
+                        raise RetryExhaustedError(
+                            f"push to table {self.name!r} row "
+                            f"{req.vertices[0]}: {resp.error}, and embedding "
+                            "updates cannot be dropped silently",
+                            resp.attempts,
+                        )
+                    store.ledger.record(EV_REMOTE_RPC)
+                    shipped = len(req.vertices) * self.dim
+                    store.ledger.record(EV_ITEM_SHIPPED, times=shipped)
+                    store.ledger.record(
+                        EV_EMB_ROW_UPDATE, times=len(req.vertices)
+                    )
+            self.runtime.metrics.counter(
+                "emb.push.rows", labels={"table": self.name}
+            ).inc(int(uniq.size))
+            self._round += 1
+            issuer_cache = self._caches.get(from_part)
+            if issuer_cache:
+                for g in uniq.tolist():
+                    issuer_cache.pop(g, None)
+
+    def minibatch(
+        self, *id_arrays: "np.ndarray | list[int]", from_part: int = 0
+    ) -> EmbeddingMinibatch:
+        """Pull the deduplicated union of ``id_arrays`` once.
+
+        The returned :class:`EmbeddingMinibatch` serves every lookup of the
+        step from the single pulled block — the per-step RPC count is one
+        coalesced pull per remote shard, regardless of how many id arrays
+        (centers, contexts, negatives) the loss touches.
+        """
+        parts = [self._validate(a) for a in id_arrays]
+        ids = (
+            np.unique(np.concatenate(parts))
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        rows = self.pull(ids, from_part=from_part)
+        return EmbeddingMinibatch(self, ids, rows, from_part)
+
+    # ------------------------------------------------------------------ #
+    # Inspection (tests, evaluation, checkpointing)
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> np.ndarray:
+        """The full ``(n_rows, dim)`` table, gathered from every shard."""
+        out = np.empty((self.n_rows, self.dim))
+        for p, shard in enumerate(self.shards):
+            out[p :: self.n_parts] = shard.param.data
+        return out
+
+    def row_versions(self) -> np.ndarray:
+        """Authoritative per-row versions, gathered from every shard."""
+        out = np.empty(self.n_rows, dtype=np.int64)
+        for p, shard in enumerate(self.shards):
+            out[p :: self.n_parts] = shard.versions
+        return out
+
+    def cached_version_lag(self) -> int:
+        """Max (authoritative - cached) version over live cache entries.
+
+        The staleness bound asserts this never exceeds :attr:`staleness`
+        for entries the cache would still serve.
+        """
+        lag = 0
+        versions = self.row_versions()
+        for cache in self._caches.values():
+            for g, (_, ver, rnd) in cache.items():
+                if self._round - rnd <= self.staleness:
+                    lag = max(lag, int(versions[g]) - ver)
+        return lag

@@ -137,6 +137,20 @@ def test_mean_rows_segmented():
     check_gradients(lambda: (F.mean_rows_segmented(x, 3) ** 2).sum(), [x])
 
 
+def test_sum_rows_segmented():
+    x = Tensor(np.arange(12, dtype=float).reshape(6, 2), requires_grad=True)
+    out = F.sum_rows_segmented(x, 3)
+    assert out.shape == (2, 2)
+    np.testing.assert_allclose(out.numpy()[0], [6.0, 9.0])
+    check_gradients(lambda: (F.sum_rows_segmented(x, 3) ** 2).sum(), [x])
+
+
+def test_sum_rows_segmented_divisibility_checked():
+    x = _param(5, 2)
+    with pytest.raises(OperatorError):
+        F.sum_rows_segmented(x, 2)
+
+
 def test_max_rows_segmented():
     x = Tensor(np.array([[1.0, 5.0], [3.0, 2.0], [0.0, 0.0], [4.0, 1.0]]), requires_grad=True)
     out = F.max_rows_segmented(x, 2)

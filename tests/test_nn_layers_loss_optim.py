@@ -141,6 +141,26 @@ def test_cross_entropy_uniform():
     assert loss.item() == pytest.approx(np.log(3.0))
 
 
+def test_cross_entropy_matches_log_softmax_reference():
+    rng = make_rng(4)
+    logits = rng.normal(size=(6, 5))
+    labels = rng.integers(0, 5, size=6)
+    log_probs = logits - np.log(
+        np.exp(logits - logits.max(axis=1, keepdims=True)).sum(
+            axis=1, keepdims=True
+        )
+    ) - logits.max(axis=1, keepdims=True)
+    expected = -log_probs[np.arange(6), labels].mean()
+    assert cross_entropy(Tensor(logits), labels).item() == pytest.approx(expected)
+
+
+def test_cross_entropy_gradcheck():
+    rng = make_rng(9)
+    logits = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+    labels = rng.integers(0, 4, size=5)
+    check_gradients(lambda: cross_entropy(logits, labels), [logits])
+
+
 def test_cross_entropy_validation():
     with pytest.raises(OperatorError):
         cross_entropy(Tensor(np.zeros(3)), np.array([0]))

@@ -1,0 +1,274 @@
+"""Sparse-gradient autograd path and the row-sparse optimizers.
+
+Covers the dense-Adam stale-momentum fix: sparse optimizers must update
+only the rows a batch touches (untouched rows bit-identical across a
+step), and their touched-row math must match the dense reference
+bit-for-bit where the semantics coincide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import Embedding
+from repro.nn.optim import Adagrad, Adam, SparseAdagrad, SparseAdam
+from repro.nn.tensor import SparseGrad, Tensor
+from repro.utils.rng import make_rng
+
+
+def _sparse_table(n: int, d: int, seed: int = 0) -> Tensor:
+    rng = make_rng(seed)
+    t = Tensor(rng.normal(size=(n, d)), requires_grad=True)
+    t.accumulates_sparse = True
+    return t
+
+
+def _backward_rows(t: Tensor, ids: np.ndarray, scale: float = 1.0) -> None:
+    """One lookup + scalar loss so gather_rows records a sparse gradient."""
+    (t.gather_rows(ids).sum() * scale).backward()
+
+
+# --------------------------------------------------------------------- #
+# The sparse autograd path itself
+# --------------------------------------------------------------------- #
+def test_gather_rows_accumulates_sparse_not_dense():
+    t = _sparse_table(50, 4)
+    _backward_rows(t, np.array([3, 7, 3]))
+    assert t.grad is None
+    assert t.sparse_grad is not None and len(t.sparse_grad) == 1
+    ids, rows = t.sparse_grad.coalesce()
+    assert ids.tolist() == [3, 7]
+    # repeated id 3 accumulated twice (scatter-add semantics)
+    np.testing.assert_array_equal(rows[0], np.full(4, 2.0))
+    np.testing.assert_array_equal(rows[1], np.full(4, 1.0))
+
+
+def test_sparse_grad_matches_dense_scatter():
+    rng = make_rng(3)
+    ids = rng.integers(0, 30, size=64)
+    g = rng.normal(size=(64, 5))
+
+    dense = Tensor(rng.normal(size=(30, 5)), requires_grad=True)
+    dense.gather_rows(ids).backward(g)
+
+    sparse = Tensor(dense.data.copy(), requires_grad=True)
+    sparse.accumulates_sparse = True
+    sparse.gather_rows(ids).backward(g)
+
+    np.testing.assert_array_equal(sparse.sparse_grad.to_dense(), dense.grad)
+
+
+def test_sparse_grad_accumulates_across_lookups():
+    t = _sparse_table(20, 3)
+    a = t.gather_rows(np.array([1, 2]))
+    b = t.gather_rows(np.array([2, 5]))
+    (a.sum() + b.sum()).backward()
+    ids, rows = t.sparse_grad.coalesce()
+    assert ids.tolist() == [1, 2, 5]
+    np.testing.assert_array_equal(rows[1], np.full(3, 2.0))
+
+
+def test_zero_grad_clears_sparse():
+    t = _sparse_table(10, 2)
+    _backward_rows(t, np.array([1]))
+    t.zero_grad()
+    assert t.sparse_grad is None and t.grad is None
+
+
+def test_sparse_grad_coalesce_empty_raises():
+    from repro.errors import OperatorError
+
+    with pytest.raises(OperatorError):
+        SparseGrad((4, 2)).coalesce()
+
+
+def test_embedding_sparse_flag():
+    rng = make_rng(0)
+    emb = Embedding(40, 6, rng, sparse=True)
+    assert emb.table.accumulates_sparse
+    (emb(np.array([4, 4, 9])) ** 2).sum().backward()
+    assert emb.table.grad is None
+    ids, _ = emb.table.sparse_grad.coalesce()
+    assert ids.tolist() == [4, 9]
+
+
+# --------------------------------------------------------------------- #
+# Untouched rows are frozen (the stale-momentum regression)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("cls", [SparseAdam, SparseAdagrad])
+def test_untouched_rows_bit_identical(cls):
+    t = _sparse_table(100, 8, seed=1)
+    before = t.data.copy()
+    opt = cls([t], lr=0.1)
+    touched = np.array([2, 40, 97])
+    for _ in range(5):
+        opt.zero_grad()
+        _backward_rows(t, touched)
+        opt.step()
+    untouched = np.setdiff1d(np.arange(100), touched)
+    np.testing.assert_array_equal(t.data[untouched], before[untouched])
+    assert not np.array_equal(t.data[touched], before[touched])
+
+
+def test_dense_adam_moves_untouched_rows():
+    """The documented dense behaviour the sparse pair fixes: once momentum
+    is non-zero, dense Adam drags zero-gradient rows on every step."""
+    t = Tensor(make_rng(0).normal(size=(10, 4)), requires_grad=True)
+    opt = Adam([t], lr=0.1)
+    t.grad = np.zeros_like(t.data)
+    t.grad[3] = 1.0
+    opt.step()
+    after_first = t.data.copy()
+    t.grad = np.zeros_like(t.data)  # nothing touched this step
+    opt.step()
+    # row 3's stale momentum moved it again despite a zero gradient
+    assert not np.array_equal(t.data[3], after_first[3])
+
+
+# --------------------------------------------------------------------- #
+# Dense <-> sparse parity where semantics coincide
+# --------------------------------------------------------------------- #
+def test_sparse_adam_full_touch_matches_dense_bitwise():
+    """Rows touched every step: per-row t == global t, updates identical."""
+    rng = make_rng(7)
+    n, d = 12, 5
+    init = rng.normal(size=(n, d))
+    all_ids = np.arange(n)
+
+    dense = Tensor(init.copy(), requires_grad=True)
+    dense_opt = Adam([dense], lr=0.05)
+    sparse = Tensor(init.copy(), requires_grad=True)
+    sparse.accumulates_sparse = True
+    sparse_opt = SparseAdam([sparse], lr=0.05)
+
+    for step in range(10):
+        g = make_rng(100 + step).normal(size=(n, d))
+        dense.grad = g.copy()
+        dense_opt.step()
+        sparse.zero_grad()
+        sparse.sparse_grad = SparseGrad(sparse.data.shape)
+        sparse.sparse_grad.append(all_ids, g)
+        sparse_opt.step()
+    np.testing.assert_array_equal(dense.data, sparse.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 20),
+    d=st.integers(1, 6),
+    steps=st.integers(1, 6),
+)
+def test_sparse_adagrad_matches_dense_any_pattern(seed, n, d, steps):
+    """Adagrad has no momentum: touched rows are bit-identical to the dense
+    update under ANY step pattern, untouched rows frozen."""
+    rng = make_rng(seed)
+    init = rng.normal(size=(n, d))
+
+    dense = Tensor(init.copy(), requires_grad=True)
+    dense_opt = Adagrad([dense], lr=0.2)
+    sparse = Tensor(init.copy(), requires_grad=True)
+    sparse.accumulates_sparse = True
+    sparse_opt = SparseAdagrad([sparse], lr=0.2)
+
+    for _ in range(steps):
+        k = int(rng.integers(1, n + 1))
+        ids = rng.choice(n, size=k, replace=False)
+        ids.sort()
+        g = rng.normal(size=(k, d))
+        full = np.zeros((n, d))
+        full[ids] = g
+        dense.grad = full
+        dense_opt.step()
+        sparse.zero_grad()
+        sparse.sparse_grad = SparseGrad(sparse.data.shape)
+        sparse.sparse_grad.append(ids, g)
+        sparse_opt.step()
+    np.testing.assert_array_equal(dense.data, sparse.data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_sparse_adam_touched_rows_match_per_row_reference(seed):
+    """Property: SparseAdam equals a scalar per-row Adam reference with
+    per-row step counts, to float64 round-off, under random touch patterns."""
+    rng = make_rng(seed)
+    n, d = 8, 3
+    init = rng.normal(size=(n, d))
+    t_counts = np.zeros(n, dtype=np.int64)
+    m = np.zeros((n, d))
+    v = np.zeros((n, d))
+    ref = init.copy()
+    lr, b1, b2, eps = 0.05, 0.9, 0.999, 1e-8
+
+    sparse = Tensor(init.copy(), requires_grad=True)
+    sparse.accumulates_sparse = True
+    opt = SparseAdam([sparse], lr=lr)
+
+    for _ in range(5):
+        k = int(rng.integers(1, n + 1))
+        ids = np.sort(rng.choice(n, size=k, replace=False))
+        g = rng.normal(size=(k, d))
+        sparse.zero_grad()
+        sparse.sparse_grad = SparseGrad(sparse.data.shape)
+        sparse.sparse_grad.append(ids, g)
+        opt.step()
+        for j, row in enumerate(ids):
+            t_counts[row] += 1
+            m[row] = b1 * m[row] + (1 - b1) * g[j]
+            v[row] = b2 * v[row] + (1 - b2) * g[j] ** 2
+            mhat = m[row] / (1 - b1 ** t_counts[row])
+            vhat = v[row] / (1 - b2 ** t_counts[row])
+            ref[row] -= lr * mhat / (np.sqrt(vhat) + eps)
+    np.testing.assert_allclose(sparse.data, ref, rtol=0, atol=1e-12)
+
+
+def test_sparse_optimizers_handle_dense_grads_too():
+    """A Dense-layer parameter in the same list updates over all rows."""
+    t = Tensor(make_rng(2).normal(size=(6, 4)), requires_grad=True)
+    opt = SparseAdagrad([t], lr=0.1)
+    t.grad = np.ones_like(t.data)
+    before = t.data.copy()
+    opt.step()
+    assert not np.array_equal(t.data, before)
+    assert np.all(t.data < before)
+
+
+def test_skipgram_sparse_vs_dense_training_parity():
+    """End-to-end: sparse-Embedding + SparseAdagrad training equals the
+    identical model trained with dense gradients + dense Adagrad."""
+    from repro.nn.loss import skipgram_negative_loss
+
+    rng = make_rng(11)
+    n, d = 30, 8
+    init_c = rng.normal(size=(n, d))
+    init_u = rng.normal(size=(n, d))
+
+    def run(sparse: bool):
+        r = make_rng(5)
+        c = Tensor(init_c.copy(), requires_grad=True)
+        u = Tensor(init_u.copy(), requires_grad=True)
+        c.accumulates_sparse = u.accumulates_sparse = sparse
+        cls = SparseAdagrad if sparse else Adagrad
+        opt = cls([c, u], lr=0.1)
+        for _ in range(8):
+            centers = r.integers(0, n, size=16)
+            contexts = r.integers(0, n, size=16)
+            negs = r.integers(0, n, size=16 * 3)
+            opt.zero_grad()
+            loss = skipgram_negative_loss(
+                c.gather_rows(centers),
+                u.gather_rows(contexts),
+                u.gather_rows(negs),
+            )
+            loss.backward()
+            opt.step()
+        return c.data, u.data
+
+    c_sparse, u_sparse = run(sparse=True)
+    c_dense, u_dense = run(sparse=False)
+    np.testing.assert_array_equal(c_sparse, c_dense)
+    np.testing.assert_array_equal(u_sparse, u_dense)
