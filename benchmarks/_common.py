@@ -14,7 +14,20 @@ import os
 
 from repro.bench import ExperimentReport
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_DEFAULT_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def results_dir() -> str:
+    """Where result bundles land: ``REPRO_BENCH_RESULTS_DIR`` or in-tree.
+
+    The env override lets ``repro bench-compare`` re-run benchmarks into a
+    scratch directory without rewriting the committed baselines it is
+    comparing against.
+    """
+    return os.environ.get("REPRO_BENCH_RESULTS_DIR") or _DEFAULT_RESULTS_DIR
+
+
+RESULTS_DIR = _DEFAULT_RESULTS_DIR
 
 
 def parse_bench_args(
@@ -61,13 +74,14 @@ def emit(report: ExperimentReport, print_json: bool = False) -> None:
     """
     rendered = report.render()
     print("\n" + rendered + "\n")
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{report.experiment_id}.txt")
+    out_dir = results_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{report.experiment_id}.txt")
     with open(path, "w", encoding="utf-8") as f:
         f.write(rendered + "\n")
     payload = _payload(report)
     with open(
-        os.path.join(RESULTS_DIR, f"{report.experiment_id}.json"),
+        os.path.join(out_dir, f"{report.experiment_id}.json"),
         "w",
         encoding="utf-8",
     ) as f:
@@ -78,7 +92,7 @@ def emit(report: ExperimentReport, print_json: bool = False) -> None:
 
 def load_result(experiment_id: str) -> "dict | None":
     """Load a previously emitted result bundle (None when absent)."""
-    path = os.path.join(RESULTS_DIR, f"{experiment_id}.json")
+    path = os.path.join(results_dir(), f"{experiment_id}.json")
     if not os.path.exists(path):
         return None
     with open(path, encoding="utf-8") as f:

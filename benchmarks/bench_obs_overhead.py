@@ -1,0 +1,220 @@
+"""Introspection overhead — recorder + time series off must cost ~nothing.
+
+The workload introspection layer (``repro.obs``) rides the same
+null-object contract as tracing: every hook site in the store's read path
+pays one attribute check when the :data:`~repro.obs.NULL_RECORDER` /
+:data:`~repro.obs.NULL_TIMESERIES` defaults are in place. The canonical
+2-hop GraphSAGE-style sampling workload (fan-outs 10x5) runs three ways:
+
+* ``baseline``  — stock stack, no obs attachments at all;
+* ``disabled``  — explicit null objects re-attached (every call site
+  active, all no-ops) — identical to baseline by construction, kept as
+  the honesty check;
+* ``enabled``   — a live :class:`~repro.obs.AccessRecorder` and a
+  :class:`~repro.obs.TimeSeriesSampler` on a 500us tick.
+
+Wall-clock is min-of-repeats; the acceptance bar from the issue is
+disabled <= 1% over baseline. Volume metrics (reads recorded, snapshots,
+series, spans) are virtual-clock deterministic and banded by the
+``obs_overhead`` rules in ``repro.obs.regression.DEFAULT_SUITE``.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.data import make_dataset
+from repro.obs import NULL_RECORDER, NULL_TIMESERIES, AccessRecorder, TimeSeriesSampler
+from repro.runtime import RpcRuntime
+from repro.sampling import (
+    DegreeBiasedNegativeSampler,
+    SamplingPipeline,
+    StoreProvider,
+    UniformNeighborSampler,
+    VertexTraverseSampler,
+)
+from repro.storage import ImportanceCachePolicy
+from repro.storage.cluster import make_store
+from repro.utils.rng import make_rng
+
+from _common import emit, parse_bench_args
+
+N_WORKERS = 4
+HOP_NUMS = [10, 5]
+STEPS = 24
+BATCH_SIZE = 64
+SEED = 7
+REPEATS = 15
+TICK_US = 500.0
+SMOKE_STEPS = 3
+SMOKE_REPEATS = 2
+OVERHEAD_BUDGET = 0.01  # disabled introspection must stay within 1%
+
+# One graph for every run: dataset synthesis is not the thing under test.
+_GRAPH = make_dataset("taobao-small-sim", scale=0.3, seed=0)
+
+
+def _setup(mode: str):
+    """Build the 2-hop stack in one of baseline/disabled/enabled modes.
+
+    Returns ``(runtime, pipeline, recorder, sampler)``; recorder/sampler
+    are None outside ``enabled`` mode.
+    """
+    store = make_store(
+        _GRAPH,
+        N_WORKERS,
+        cache_policy=ImportanceCachePolicy(),
+        cache_budget_fraction=0.1,
+        seed=SEED,
+    )
+    runtime = RpcRuntime(store)
+    store.attach_runtime(runtime)
+    recorder = sampler = None
+    if mode == "disabled":
+        # Re-attach the null objects: every hook site active, all no-ops.
+        store.attach_recorder(NULL_RECORDER)
+        store.attach_timeseries(NULL_TIMESERIES)
+    elif mode == "enabled":
+        recorder = AccessRecorder()
+        sampler = TimeSeriesSampler(runtime.metrics, runtime.clock, tick_us=TICK_US)
+        store.attach_recorder(recorder)
+        store.attach_timeseries(sampler)
+    pipeline = SamplingPipeline(
+        traverse=VertexTraverseSampler(_GRAPH, vertex_type="user"),
+        neighborhood=UniformNeighborSampler(StoreProvider(store, from_part=0)),
+        negative=DegreeBiasedNegativeSampler(_GRAPH),
+        hop_nums=HOP_NUMS,
+        neg_num=5,
+        metrics=runtime.metrics,
+    )
+    return runtime, pipeline, recorder, sampler
+
+
+def _drive(pipeline: SamplingPipeline, steps: int) -> None:
+    rng = make_rng(SEED)
+    for _ in range(steps):
+        pipeline.sample(BATCH_SIZE, rng)
+
+
+def _run_workload(mode: str, steps: int = STEPS):
+    runtime, pipeline, recorder, sampler = _setup(mode)
+    _drive(pipeline, steps)
+    return runtime, recorder, sampler
+
+
+def _time_configs(
+    modes: "list[str]", steps: int, repeats: int
+) -> "tuple[dict[str, float], dict[str, float]]":
+    """Paired per-round timings: min seconds and median vs-first ratio.
+
+    Wall-clock on a shared machine drifts on second timescales — far more
+    than the 1% band under test — so absolute mins are not comparable
+    across configs. Instead every round times all configs back to back
+    (order rotating to spread position effects), each round yields a
+    *paired ratio* of every config against the first mode in ``modes``,
+    and the reported overhead is the median of those ratios: slow drift
+    hits both sides of a ratio equally and cancels. Only the sampling
+    loop is timed; store construction is identical across configs.
+    """
+    best = {mode: float("inf") for mode in modes}
+    ratios = {mode: [] for mode in modes}
+    for round_no in range(repeats):
+        shift = round_no % len(modes)
+        round_s: "dict[str, float]" = {}
+        for mode in modes[shift:] + modes[:shift]:
+            runtime, pipeline, _, _ = _setup(mode)
+            # GC pauses are milliseconds — bigger than the band under
+            # test — so collections are forced out of the timed region.
+            gc.collect()
+            gc.disable()
+            t0 = time.perf_counter()
+            _drive(pipeline, steps)
+            round_s[mode] = time.perf_counter() - t0
+            gc.enable()
+            best[mode] = min(best[mode], round_s[mode])
+            # Shared-process hygiene: registries don't leak between runs.
+            runtime.metrics.reset()
+        for mode in modes:
+            ratios[mode].append(round_s[mode] / round_s[modes[0]])
+    medians = {
+        mode: sorted(rs)[len(rs) // 2] for mode, rs in ratios.items()
+    }
+    return best, medians
+
+
+def _run(smoke: bool = False) -> ExperimentReport:
+    steps = SMOKE_STEPS if smoke else STEPS
+    repeats = SMOKE_REPEATS if smoke else REPEATS
+    report = ExperimentReport(
+        "obs_overhead",
+        f"Workload-introspection overhead on the 2-hop sampling workload "
+        f"(min of {repeats} interleaved repeats)",
+    )
+    # Warm up caches/imports so the first timed config isn't penalized.
+    _run_workload("baseline", steps)
+
+    best, ratio = _time_configs(
+        ["baseline", "disabled", "enabled"], steps, repeats
+    )
+
+    def row(mode: str) -> dict:
+        return {
+            "wall_ms": round(best[mode] * 1e3, 2),
+            "vs_baseline": f"{(ratio[mode] - 1.0) * 100.0:+.2f}%",
+        }
+
+    report.add("baseline (no obs)", row("baseline"))
+    report.add("obs disabled (null objects)", row("disabled"))
+    report.add("obs enabled (recorder + 500us tick)", row("enabled"))
+
+    runtime, recorder, sampler = _run_workload("enabled", steps)
+    sampler.sample_now()
+    report.add(
+        "enabled introspection volume",
+        {
+            "reads_recorded": recorder.total_reads,
+            "unique_vertices": len(recorder.vertex_reads),
+            "ts_samples": sampler.n_samples,
+            "series": len(sampler.series),
+        },
+    )
+    runtime.metrics.reset()
+    report.note(
+        f"{steps} pipeline batches of {BATCH_SIZE} seeds, fan-outs "
+        f"{HOP_NUMS}, {N_WORKERS} workers; overhead is the median paired "
+        f"per-round ratio; acceptance bar: disabled introspection within "
+        f"{OVERHEAD_BUDGET:.0%} of baseline"
+    )
+    report.meta = {
+        "baseline_s": best["baseline"],
+        "disabled_ratio": ratio["disabled"],
+        "enabled_ratio": ratio["enabled"],
+    }
+    return report
+
+
+def test_obs_overhead(benchmark: "pytest.fixture") -> None:
+    report = benchmark.pedantic(_run, iterations=1, rounds=1)
+    emit(report)
+    disabled_ratio = report.meta["disabled_ratio"]
+    assert disabled_ratio <= 1.0 + OVERHEAD_BUDGET, (
+        f"disabled introspection costs {disabled_ratio - 1.0:.2%} (median "
+        f"paired ratio), budget is {OVERHEAD_BUDGET:.0%}"
+    )
+    by_label = {r.label: r.measured for r in report.records}
+    volume = by_label["enabled introspection volume"]
+    assert volume["reads_recorded"] > 0 and volume["ts_samples"] > 0
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    args = parse_bench_args(__doc__.splitlines()[0], argv)
+    report = _run(smoke=args.smoke)
+    emit(report, print_json=args.json)
+
+
+if __name__ == "__main__":
+    main()

@@ -160,6 +160,7 @@ class GNNFramework(EmbeddingModel):
         seed: int = 0,
         profiler: "object | None" = None,
         prefetch_depth: int = 0,
+        timeseries: "object | None" = None,
     ) -> None:
         if kmax < 1:
             raise TrainingError(f"kmax must be >= 1, got {kmax}")
@@ -188,6 +189,9 @@ class GNNFramework(EmbeddingModel):
         self.seed = seed
         self.profiler = profiler
         self.prefetch_depth = prefetch_depth
+        #: Optional repro.obs TimeSeriesSampler polled once per training
+        #: step (needs a profiler with a bound virtual clock to tick).
+        self.timeseries = timeseries
         self._prefetcher: "PrefetchingPipeline | None" = None
         self.stopped_early = False
         self._embeddings: np.ndarray | None = None
@@ -299,6 +303,8 @@ class GNNFramework(EmbeddingModel):
                         loss.backward()
                     with stage("optimizer"):
                         optimizer.step()
+                if self.timeseries is not None:
+                    self.timeseries.poll()
                 epoch_losses.append(loss.item())
             epoch_loss = float(np.mean(epoch_losses))
             self.loss_history.append(epoch_loss)

@@ -13,6 +13,9 @@ Commands
 ``prefetch-demo``   overlapped sampling: prefetch buffer + makespan model
 ``sampling-bench``  A/B the batched vs reference frontier-sampling kernels
 ``serve-bench``     online serving tier under seeded load -> SLO report
+``workload-report`` mine hot vertices / traffic matrix / cache efficacy
+``timeseries``      virtual-clock metric series of the sampled workload
+``bench-compare``   regression-gate fresh smoke benchmarks vs baselines
 
 The CLI covers the adopt-and-script path: generate once, train many models
 against the same artifact, compare evaluations — without writing Python.
@@ -139,6 +142,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default="trace.json",
         help="Chrome trace-event JSON output path (default: trace.json)",
     )
+    p_tc.add_argument(
+        "--json", action="store_true",
+        help="also print a machine-readable summary payload (the "
+        "benchmarks/_common.py record contract)",
+    )
 
     p_mr = sub.add_parser(
         "metrics-report",
@@ -148,6 +156,87 @@ def _build_parser() -> argparse.ArgumentParser:
     p_mr.add_argument(
         "--output", default=None,
         help="write the exposition here instead of stdout",
+    )
+    p_mr.add_argument(
+        "--json", action="store_true",
+        help="print the metrics as a machine-readable payload (the "
+        "benchmarks/_common.py record contract) instead of Prometheus text",
+    )
+
+    p_wr = sub.add_parser(
+        "workload-report",
+        help="mine the sampled workload's access stream: hot vertices, "
+        "traffic matrix, Zipf skew, cache efficacy",
+    )
+    _add_workload_args(p_wr, drop_rate=0.0)
+    p_wr.add_argument(
+        "--top-k", type=int, default=10,
+        help="hot vertices to list (default: 10)",
+    )
+    p_wr.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable payload (the benchmarks/_common.py "
+        "record contract) instead of the rendered report",
+    )
+
+    p_ts = sub.add_parser(
+        "timeseries",
+        help="sample the metrics registry on the virtual clock while the "
+        "workload runs; export the series",
+    )
+    _add_workload_args(p_ts, drop_rate=0.1)
+    p_ts.add_argument(
+        "--tick-us", type=float, default=500.0,
+        help="sampling tick in simulated microseconds (default: 500)",
+    )
+    p_ts.add_argument(
+        "--capacity", type=int, default=4096,
+        help="ring-buffer samples kept per series (default: 4096)",
+    )
+    p_ts.add_argument(
+        "--format", choices=["csv", "json", "chrome"], default="csv",
+        help="export format: csv rows, json payload, or Chrome counter "
+        "events for Perfetto (default: csv)",
+    )
+    p_ts.add_argument(
+        "--output", default=None,
+        help="write the export here instead of stdout",
+    )
+
+    p_bc = sub.add_parser(
+        "bench-compare",
+        help="re-run the gated benchmarks and compare against committed "
+        "baselines; exit 1 on regression",
+    )
+    p_bc.add_argument(
+        "--smoke", action="store_true", default=True,
+        help="run benchmarks in --smoke mode (default: on)",
+    )
+    p_bc.add_argument(
+        "--bench-dir", default=None,
+        help="benchmark scripts directory (default: <repo>/benchmarks)",
+    )
+    p_bc.add_argument(
+        "--baseline-dir", default=None,
+        help="committed baseline payloads "
+        "(default: <bench-dir>/results/smoke)",
+    )
+    p_bc.add_argument(
+        "--out-dir", default=None,
+        help="scratch directory for fresh results (default: a temp dir)",
+    )
+    p_bc.add_argument(
+        "--only", nargs="+", default=None, metavar="ID",
+        help="restrict the suite to these experiment ids",
+    )
+    p_bc.add_argument(
+        "--inject-latency-pct", type=float, default=0.0,
+        help="self-test: inflate fresh higher-is-worse metrics by this "
+        "percentage so the gate must trip",
+    )
+    p_bc.add_argument(
+        "--json", action="store_true",
+        help="print the comparison as JSON instead of the rendered report",
     )
 
     p_pf = sub.add_parser(
@@ -397,6 +486,27 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_contract_payload(experiment_id: str, title: str, records) -> None:
+    """Print a payload in the ``benchmarks/_common.py`` output contract.
+
+    The CLI cannot import ``benchmarks/_common`` (scripts, not a package),
+    so the shape — ``{experiment_id, title, records: [{label, measured,
+    paper}]}`` — is reproduced here; ``repro bench-compare`` and the CI
+    schema check consume both interchangeably.
+    """
+    import json
+
+    payload = {
+        "experiment_id": experiment_id,
+        "title": title,
+        "records": [
+            {"label": label, "measured": measured, "paper": {}}
+            for label, measured in records
+        ],
+    }
+    print(json.dumps(payload, indent=1))
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime import Tracer, write_chrome_trace
 
@@ -404,6 +514,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     _, store, runtime, _ = _run_sampled_workload(args, tracer=tracer)
     payload = write_chrome_trace(tracer, args.output)
     traces = tracer.traces()
+    if args.json:
+        from repro.obs import analyze
+
+        cp = analyze(tracer)
+        _print_contract_payload(
+            "cli_trace",
+            "traced sampling workload (repro trace)",
+            [
+                (
+                    "trace volume",
+                    {
+                        "events": len(payload["traceEvents"]),
+                        "traces": len(traces),
+                        "spans": len(tracer.spans),
+                        "ledger_rows": len(tracer.ledger_rows),
+                    },
+                ),
+                ("trace latency", dict(cp["latency_us"])),
+                ("critical-path segments", dict(cp["segments_total"])),
+            ],
+        )
+        return 0
     print(
         f"wrote {args.output}: {len(payload['traceEvents'])} trace events, "
         f"{len(traces)} traces, {len(tracer.ledger_rows)} ledger rows "
@@ -420,6 +552,21 @@ def _cmd_metrics_report(args: argparse.Namespace) -> int:
     from repro.runtime import prometheus_text
 
     _, store, runtime, _ = _run_sampled_workload(args)
+    if args.json:
+        records = []
+        for row in runtime.metrics.summary_rows():
+            name, kind, count = row[0], row[1], row[2]
+            measured = {"type": kind, "count": count}
+            if kind == "histogram":
+                measured.update(
+                    {"mean": row[3], "p50": row[4], "p95": row[5], "p99": row[6]}
+                )
+            records.append((name, measured))
+        _print_contract_payload(
+            "cli_metrics", "sampled workload metrics (repro metrics-report)",
+            records,
+        )
+        return 0
     text = prometheus_text(runtime.metrics)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:
@@ -431,6 +578,120 @@ def _cmd_metrics_report(args: argparse.Namespace) -> int:
     else:
         print(text, end="")
     return 0
+
+
+def _cmd_workload_report(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        AccessRecorder,
+        cache_efficacy,
+        mine_workload,
+        render_workload_report,
+    )
+    from repro.utils.rng import make_rng
+
+    graph, store, runtime, pipeline = _build_sampled_workload(args)
+    recorder = AccessRecorder()
+    store.attach_recorder(recorder)
+    rng = make_rng(args.seed)
+    for _ in range(args.steps):
+        pipeline.sample(args.batch_size, rng)
+    report = mine_workload(recorder, top_k=args.top_k)
+    efficacy = cache_efficacy(recorder, store.cost_model)
+    if args.json:
+        records = [
+            (
+                "workload",
+                {
+                    "total_reads": report["total_reads"],
+                    "unique_vertices": report["unique_vertices"],
+                    "local_share": report["local_share"],
+                },
+            ),
+            ("routes", dict(report["routes"])),
+        ]
+        if report["zipf"]:
+            records.append(("zipf", dict(report["zipf"])))
+        records.append(
+            ("cache observed", dict(efficacy["observed"]))
+        )
+        for row in efficacy["oracle"]:
+            records.append((f"cache oracle k={row['capacity']}", dict(row)))
+        _print_contract_payload(
+            "cli_workload", "mined workload report (repro workload-report)",
+            records,
+        )
+        return 0
+    print(render_workload_report(report, efficacy))
+    return 0
+
+
+def _cmd_timeseries(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import TimeSeriesSampler
+    from repro.utils.rng import make_rng
+
+    graph, store, runtime, pipeline = _build_sampled_workload(args)
+    sampler = TimeSeriesSampler(
+        runtime.metrics,
+        runtime.clock,
+        tick_us=args.tick_us,
+        capacity=args.capacity,
+    )
+    store.attach_timeseries(sampler)
+    rng = make_rng(args.seed)
+    for _ in range(args.steps):
+        pipeline.sample(args.batch_size, rng)
+    sampler.sample_now()
+    if args.format == "csv":
+        text = sampler.to_csv()
+    elif args.format == "json":
+        text = json.dumps(sampler.to_dict(), indent=1) + "\n"
+    else:
+        text = (
+            json.dumps({"traceEvents": sampler.chrome_counter_events()}, indent=1)
+            + "\n"
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(
+            f"wrote {args.output}: {sampler.n_samples} snapshots of "
+            f"{len(sampler.series)} series ({args.format})"
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import tempfile
+
+    from repro.obs import compare_suite, render_compare
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    bench_dir = args.bench_dir or os.path.join(repo_root, "benchmarks")
+    baseline_dir = args.baseline_dir or os.path.join(
+        bench_dir, "results", "smoke"
+    )
+    out_dir = args.out_dir or tempfile.mkdtemp(prefix="repro-bench-compare-")
+    report = compare_suite(
+        bench_dir=bench_dir,
+        baseline_dir=baseline_dir,
+        out_dir=out_dir,
+        smoke=args.smoke,
+        inject_latency_pct=args.inject_latency_pct,
+        only=args.only,
+    )
+    if args.json:
+        print(json.dumps(report, indent=1))
+    else:
+        print(render_compare(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_prefetch_demo(args: argparse.Namespace) -> int:
@@ -689,6 +950,9 @@ def main(argv: "list[str] | None" = None) -> int:
         "prefetch-demo": _cmd_prefetch_demo,
         "sampling-bench": _cmd_sampling_bench,
         "serve-bench": _cmd_serve_bench,
+        "workload-report": _cmd_workload_report,
+        "timeseries": _cmd_timeseries,
+        "bench-compare": _cmd_bench_compare,
     }
     try:
         return handlers[args.command](args)

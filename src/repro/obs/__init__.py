@@ -1,0 +1,78 @@
+"""Workload introspection: time series, critical paths, traffic mining.
+
+``repro.obs`` consumes the observability streams the runtime already emits
+— :class:`~repro.runtime.tracing.Tracer` spans, the
+:class:`~repro.runtime.metrics.MetricsRegistry`, the cost ledger — and
+turns them into answers: how metrics evolved over virtual time
+(:mod:`~repro.obs.timeseries`), where each request's latency actually went
+(:mod:`~repro.obs.critical_path`), which vertices are hot and which reads
+cross partitions (:mod:`~repro.obs.workload`), and whether a fresh run
+regressed against the committed benchmark baselines
+(:mod:`~repro.obs.regression`).
+
+Everything here is read-side: the only hooks on hot paths are the
+null-object :data:`~repro.obs.timeseries.NULL_TIMESERIES` and
+:data:`~repro.obs.workload.NULL_RECORDER`, which keep disabled runs at one
+attribute check per batch (``benchmarks/bench_obs_overhead.py`` holds the
+line at <1%). All reports are plain dicts with stable ordering — two
+same-seed runs compare equal with ``==``.
+"""
+
+from repro.obs.critical_path import (
+    SEGMENTS,
+    analyze,
+    classify_span,
+    critical_path,
+    render_analysis,
+    render_critical_path,
+)
+from repro.obs.regression import (
+    DEFAULT_SUITE,
+    BenchSpec,
+    MetricRule,
+    compare_payloads,
+    compare_suite,
+    flatten_payload,
+    inject_latency,
+    render_compare,
+    run_bench,
+)
+from repro.obs.timeseries import NULL_TIMESERIES, TimeSeriesSampler
+from repro.obs.workload import (
+    NULL_RECORDER,
+    ROUTES,
+    AccessRecorder,
+    cache_efficacy,
+    fit_zipf,
+    ledger_event_totals,
+    mine_workload,
+    render_workload_report,
+)
+
+__all__ = [
+    "AccessRecorder",
+    "BenchSpec",
+    "DEFAULT_SUITE",
+    "MetricRule",
+    "NULL_RECORDER",
+    "NULL_TIMESERIES",
+    "ROUTES",
+    "SEGMENTS",
+    "TimeSeriesSampler",
+    "analyze",
+    "cache_efficacy",
+    "classify_span",
+    "compare_payloads",
+    "compare_suite",
+    "critical_path",
+    "fit_zipf",
+    "flatten_payload",
+    "inject_latency",
+    "ledger_event_totals",
+    "mine_workload",
+    "render_analysis",
+    "render_compare",
+    "render_critical_path",
+    "render_workload_report",
+    "run_bench",
+]

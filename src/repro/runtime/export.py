@@ -39,13 +39,31 @@ def _sanitize(name: str) -> str:
     return name
 
 
+def _escape_label_value(value: object) -> str:
+    """A label value escaped per the text exposition format 0.0.4.
+
+    Backslash, double-quote and line feed are the three characters the
+    spec requires escaping inside quoted label values; everything else
+    passes through verbatim. Backslash must go first or it would
+    double-escape the other two.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_str(labels: "tuple[tuple[str, str], ...] | None", extra: "dict | None" = None) -> str:
     pairs = list(labels or ())
     if extra:
         pairs.extend(extra.items())
     if not pairs:
         return ""
-    body = ",".join(f'{_sanitize(k)}="{v}"' for k, v in pairs)
+    body = ",".join(
+        f'{_sanitize(k)}="{_escape_label_value(v)}"' for k, v in pairs
+    )
     return "{" + body + "}"
 
 

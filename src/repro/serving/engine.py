@@ -37,6 +37,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ServingError
+from repro.obs.timeseries import NULL_TIMESERIES
+from repro.obs.workload import NULL_RECORDER
 from repro.runtime.rpc import RpcRuntime
 from repro.sampling.base import StoreProvider
 from repro.sampling.neighborhood import UniformNeighborSampler
@@ -104,6 +106,8 @@ class ServingEngine:
         config: "ServingConfig | None" = None,
         base_vectors: "np.ndarray | None" = None,
         tracer: "object | None" = None,
+        recorder: "object" = NULL_RECORDER,
+        timeseries: "object" = NULL_TIMESERIES,
         seed: int = 0,
     ) -> None:
         self.store = store
@@ -114,6 +118,11 @@ class ServingEngine:
         self.clock = self.runtime.clock
         self.metrics = self.runtime.metrics
         self.tracer = tracer
+        #: Workload-introspection hooks (repro.obs): the recorder sees one
+        #: record_request per finished request, the sampler is polled per
+        #: request. Null objects by default.
+        self.recorder = recorder
+        self.timeseries = timeseries
         self.seed = seed
         self._rng = make_rng(seed)
         n = store.graph.n_vertices
@@ -246,6 +255,9 @@ class ServingEngine:
                 outcome=outcome,
                 cache_hit=cache_hit,
             )
+        if self.recorder.enabled:
+            self.recorder.record_request(req.user, req.cls, outcome, cache_hit)
+        self.timeseries.poll()
         return rec
 
     def run(self, workload) -> "list[ServeRecord]":

@@ -54,6 +54,8 @@ from repro.storage.costmodel import (
     EV_SUSPECT_ROUTE,
     CostModel,
 )
+from repro.obs.timeseries import NULL_TIMESERIES
+from repro.obs.workload import NULL_RECORDER
 from repro.runtime.batching import RequestBatcher
 from repro.runtime.rpc import KIND_ATTRS, KIND_NEIGHBORS, RpcRuntime
 from repro.storage.partition.base import PartitionAssignment, Partitioner
@@ -122,6 +124,10 @@ class DistributedGraphStore:
         self._failed: set[int] = set()
         self.runtime: "RpcRuntime | None" = None
         self._batcher = RequestBatcher()
+        #: Workload-introspection hooks (repro.obs). Null objects by
+        #: default: disabled runs pay one attribute check per batch.
+        self.recorder = NULL_RECORDER
+        self.timeseries = NULL_TIMESERIES
 
     # ------------------------------------------------------------------ #
     # Cache installation
@@ -197,6 +203,25 @@ class DistributedGraphStore:
         if runtime.tracer.enabled:
             runtime.tracer.bind_ledger(self.ledger)
 
+    def attach_recorder(self, recorder: "object") -> None:
+        """Install an :class:`~repro.obs.workload.AccessRecorder`.
+
+        The dispatch loop feeds it one ``(vertex, owner, issuer, route)``
+        call per resolved read — the per-key stream the workload miners
+        (and the future adaptive partitioner) consume. Pass
+        :data:`~repro.obs.workload.NULL_RECORDER` to detach.
+        """
+        self.recorder = recorder
+
+    def attach_timeseries(self, sampler: "object") -> None:
+        """Install a :class:`~repro.obs.timeseries.TimeSeriesSampler`.
+
+        Polled once per resolved read batch, so metric snapshots advance
+        with the virtual clock as the workload runs. Pass
+        :data:`~repro.obs.timeseries.NULL_TIMESERIES` to detach.
+        """
+        self.timeseries = sampler
+
     def _ensure_runtime(self) -> RpcRuntime:
         """The attached runtime, creating a fault-free default on first use."""
         if self.runtime is None:
@@ -218,12 +243,18 @@ class DistributedGraphStore:
                 return row
         return None
 
-    def _read_unavailable(self, vertex: int, kind: str) -> np.ndarray:
+    def _read_unavailable(
+        self, vertex: int, kind: str, from_part: int = -1
+    ) -> np.ndarray:
         """Last resort for a read no server or replica can serve."""
         if self.degraded_reads and kind == KIND_NEIGHBORS:
             self.ledger.record(EV_DEGRADED_READ)
             if self.runtime is not None:
                 self.runtime.metrics.counter("reads.degraded").inc()
+            if self.recorder.enabled and from_part >= 0:
+                self.recorder.record(
+                    vertex, self.owner(vertex), from_part, "degraded"
+                )
             return np.zeros(0, dtype=np.int64)
         raise ReadUnavailableError(vertex, self.owner(vertex), kind)
 
@@ -240,8 +271,12 @@ class DistributedGraphStore:
             row = self._replica_peek(vertex, from_part)
             if row is not None:
                 self.ledger.record(EV_FAILOVER_READ)
+                if self.recorder.enabled:
+                    self.recorder.record(
+                        vertex, self.owner(vertex), from_part, "failover"
+                    )
                 return row
-        return self._read_unavailable(vertex, kind)
+        return self._read_unavailable(vertex, kind, from_part)
 
     def _resolve_read(
         self, kind: str, vertices: "np.ndarray | list[int]", from_part: int
@@ -269,6 +304,7 @@ class DistributedGraphStore:
             results = self._resolve_read_traced(
                 kind, vertices, from_part, runtime, read_span
             )
+        self.timeseries.poll()
         return results
 
     def _resolve_read_traced(
@@ -287,6 +323,9 @@ class DistributedGraphStore:
             and self.cache_policy is not None
             and self.cache_policy.demand_filled
         )
+        # Hoisted once per batch: the disabled recorder costs the loop one
+        # `is not None` check per vertex (the NULL_TRACER overhead bar).
+        rec = self.recorder if self.recorder.enabled else None
 
         # Dedup and validate the whole batch with array ops: np.unique on
         # the raw ids, re-sorted to first-seen order so replays (and the
@@ -319,6 +358,8 @@ class DistributedGraphStore:
         for i, (v, owner) in enumerate(zip(uniq.tolist(), owners.tolist())):
             server = self.servers[owner]
             if owner == from_part:
+                if rec is not None:
+                    rec.record(v, owner, from_part, "local")
                 if kind == KIND_NEIGHBORS:
                     self.ledger.record(EV_LOCAL_READ)
                     results[v] = server.local_neighbors(v)
@@ -338,6 +379,8 @@ class DistributedGraphStore:
                     if probe_mask[i]:
                         cached = nb_cache.get(v)
                         self.ledger.record(EV_CACHE_HIT)
+                        if rec is not None:
+                            rec.record(v, owner, from_part, "cache_hit")
                         results[v] = cached
                         continue
                     probe_misses += 1
@@ -345,6 +388,8 @@ class DistributedGraphStore:
                     cached = nb_cache.get(v)
                     if cached is not None:
                         self.ledger.record(EV_CACHE_HIT)
+                        if rec is not None:
+                            rec.record(v, owner, from_part, "cache_hit")
                         results[v] = cached
                         continue
             if owner in self._failed:
@@ -361,6 +406,8 @@ class DistributedGraphStore:
                 if row is not None:
                     self.ledger.record(EV_SUSPECT_ROUTE)
                     runtime.metrics.counter("health.suspect_routes").inc()
+                    if rec is not None:
+                        rec.record(v, owner, from_part, "suspect")
                     results[v] = row
                     continue
             remote_v.append(v)
@@ -389,6 +436,9 @@ class DistributedGraphStore:
         for req, resp in zip(requests, runtime.execute(requests)):
             if resp.ok:
                 self.ledger.record(EV_REMOTE_RPC)
+                if rec is not None:
+                    for v in resp.payload:
+                        rec.record(v, req.dst_part, from_part, "remote")
                 if kind == KIND_NEIGHBORS:
                     shipped = sum(int(row.size) for row in resp.payload.values())
                     self.ledger.record(EV_ITEM_SHIPPED, times=shipped)

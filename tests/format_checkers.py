@@ -1,21 +1,31 @@
 """Format validators for the observability exporters.
 
-Two checkers, each returning a list of human-readable problems (empty list
-means the payload is valid):
+Three checkers, each returning a list of human-readable problems (empty
+list means the payload is valid):
 
 * :func:`check_prometheus_text` — Prometheus text exposition format 0.0.4
   (the subset :func:`repro.runtime.export.prometheus_text` emits: HELP/TYPE
-  headers, counters, gauges and summaries);
+  headers, counters, gauges and summaries). Label values are parsed with
+  the spec's quoting rules: ``\\``, ``"`` and line feed must appear as
+  ``\\\\``, ``\\"`` and ``\\n`` — unescaped occurrences make the sample
+  line unparseable and are rejected;
 * :func:`check_chrome_trace` — Chrome trace-event JSON object format (the
   subset Perfetto needs to load a trace: ``traceEvents`` with complete
-  ``"X"`` and instant ``"i"`` events).
+  ``"X"``, instant ``"i"`` and counter ``"C"`` events);
+* :func:`check_experiment_payload` — the ``benchmarks/_common.py`` result
+  contract (``{experiment_id, title, records: [{label, measured,
+  paper}]}``) that ``repro bench-compare`` and the committed baselines
+  share.
 
 Also runnable as a script (used by CI)::
 
     python tests/format_checkers.py smoke-metrics.prom smoke-trace.json
+    python tests/format_checkers.py --results benchmarks/results/*.json
 
-Files ending in ``.json`` are checked as Chrome traces, everything else as
-Prometheus text. Exits non-zero and prints the problems when any file fails.
+Without ``--results``, files ending in ``.json`` are checked as Chrome
+traces and everything else as Prometheus text; with it, every file is
+checked as an experiment payload. Exits non-zero and prints the problems
+when any file fails.
 """
 
 from __future__ import annotations
@@ -25,12 +35,52 @@ import re
 
 _METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
-_SAMPLE_LINE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r" (?P<value>\S+)$"
-)
+_SAMPLE_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+#: One label pair with a spec-escaped quoted value: any run of characters
+#: that are not raw ``"``, ``\`` or newline, or one of the three legal
+#: escapes ``\\``, ``\"``, ``\n``.
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"')
 _TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def _parse_sample_line(line: str) -> "tuple[str, list, str] | None":
+    """Split a sample line into ``(name, label_pairs, value)``.
+
+    Returns None when the line does not parse — including any label value
+    containing an unescaped backslash, double-quote or newline, which the
+    escape-aware pair regex refuses to match.
+    """
+    m = _SAMPLE_NAME.match(line)
+    if m is None:
+        return None
+    name = m.group(0)
+    rest = line[m.end():]
+    pairs: "list[tuple[str, str]]" = []
+    if rest.startswith("{"):
+        i = 1
+        if rest[i : i + 1] == "}":
+            i += 1
+        else:
+            while True:
+                pm = _LABEL_PAIR.match(rest, i)
+                if pm is None:
+                    return None
+                pairs.append((pm.group(1), pm.group(2)))
+                i = pm.end()
+                nxt = rest[i : i + 1]
+                i += 1
+                if nxt == ",":
+                    continue
+                if nxt == "}":
+                    break
+                return None
+        rest = rest[i:]
+    if not rest.startswith(" "):
+        return None
+    value = rest[1:]
+    if not value or " " in value:
+        return None
+    return name, pairs, value
 
 
 def check_prometheus_text(text: str) -> "list[str]":
@@ -66,40 +116,27 @@ def check_prometheus_text(text: str) -> "list[str]":
             continue
         if line.startswith("#"):
             continue  # free-form comment
-        m = _SAMPLE_LINE.match(line)
-        if m is None:
-            problems.append(f"line {lineno}: unparseable sample line: {line!r}")
+        parsed = _parse_sample_line(line)
+        if parsed is None:
+            problems.append(
+                f"line {lineno}: unparseable sample line (malformed labels "
+                f"or unescaped label value?): {line!r}"
+            )
             continue
-        name = m.group("name")
+        name, pairs, value = parsed
         base = _summary_base(name, typed)
         if base not in typed:
             problems.append(
                 f"line {lineno}: sample {name!r} has no preceding # TYPE"
             )
-        labels = m.group("labels")
-        if labels:
-            for pair in labels.split(","):
-                if "=" not in pair:
-                    problems.append(
-                        f"line {lineno}: malformed label pair {pair!r}"
-                    )
-                    continue
-                lname, _, lvalue = pair.partition("=")
-                if not _LABEL_NAME.match(lname):
-                    problems.append(
-                        f"line {lineno}: bad label name {lname!r}"
-                    )
-                if not (lvalue.startswith('"') and lvalue.endswith('"')):
-                    problems.append(
-                        f"line {lineno}: unquoted label value {lvalue!r}"
-                    )
+        for lname, _lvalue in pairs:
+            if not _LABEL_NAME.match(lname):
+                problems.append(f"line {lineno}: bad label name {lname!r}")
         try:
-            float(m.group("value"))
+            float(value)
         except ValueError:
-            problems.append(
-                f"line {lineno}: non-numeric value {m.group('value')!r}"
-            )
-        key = f"{name}{{{labels or ''}}}"
+            problems.append(f"line {lineno}: non-numeric value {value!r}")
+        key = f"{name}{{{','.join(f'{k}={v}' for k, v in pairs)}}}"
         if key in seen_samples:
             problems.append(f"line {lineno}: duplicate sample {key}")
         seen_samples.add(key)
@@ -157,9 +194,65 @@ def check_chrome_trace(payload: "dict | str") -> "list[str]":
     return problems
 
 
-def _check_file(path: str) -> "list[str]":
+def check_experiment_payload(payload: "dict | str") -> "list[str]":
+    """Validate a benchmark result bundle against the shared contract.
+
+    The contract (``benchmarks/_common.py`` writers, ``repro
+    bench-compare`` and the CLI ``--json`` emitters): a JSON object with
+    string ``experiment_id`` and ``title`` plus a ``records`` list whose
+    entries each carry a string ``label``, a ``measured`` value (number or
+    flat dict of scalars) and a ``paper`` value of the same shape.
+    """
+    problems: list[str] = []
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    for key in ("experiment_id", "title"):
+        if not isinstance(payload.get(key), str) or not payload.get(key):
+            problems.append(f"{key} must be a non-empty string")
+    records = payload.get("records")
+    if not isinstance(records, list):
+        return problems + ["records must be a list"]
+    if not records:
+        problems.append("records is empty")
+
+    def _measured_ok(value: object) -> bool:
+        # Scalars include bools: determinism flags are committed results.
+        if isinstance(value, (bool, int, float, str)):
+            return True
+        if isinstance(value, dict):
+            return all(
+                isinstance(k, str) and isinstance(v, (bool, int, float, str))
+                for k, v in value.items()
+            )
+        return False
+
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            problems.append(f"record {i}: not an object")
+            continue
+        if not isinstance(rec.get("label"), str) or not rec.get("label"):
+            problems.append(f"record {i}: label must be a non-empty string")
+        for key in ("measured", "paper"):
+            if key not in rec:
+                problems.append(f"record {i}: missing {key}")
+            elif not _measured_ok(rec[key]):
+                problems.append(
+                    f"record {i}: {key} must be a scalar or a flat "
+                    f"dict of scalars, got {type(rec[key]).__name__}"
+                )
+    return problems
+
+
+def _check_file(path: str, as_results: bool = False) -> "list[str]":
     with open(path, encoding="utf-8") as f:
         text = f.read()
+    if as_results:
+        return check_experiment_payload(text)
     if path.endswith(".json"):
         return check_chrome_trace(text)
     return check_prometheus_text(text)
@@ -168,9 +261,12 @@ def _check_file(path: str) -> "list[str]":
 if __name__ == "__main__":
     import sys
 
+    targets = sys.argv[1:]
+    as_results = "--results" in targets
+    targets = [t for t in targets if t != "--results"]
     failed = False
-    for target in sys.argv[1:]:
-        errors = _check_file(target)
+    for target in targets:
+        errors = _check_file(target, as_results=as_results)
         if errors:
             failed = True
             print(f"{target}: INVALID")

@@ -54,14 +54,25 @@ def test_ahep_faster_and_lighter_than_hep():
         n_users=300, n_items=100, mean_user_degree=40.0,
         mean_item_out_degree=20.0, seed=4,
     )
-    hep = HEP(dim=128, steps=12, neighbor_cap=64, batch_size=256, seed=0)
-    ahep = AHEP(dim=128, steps=12, neighbor_cap=4, batch_size=256, seed=0)
-    t0 = time.perf_counter()
-    hep.fit(dense)
-    hep_time = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    ahep.fit(dense)
-    ahep_time = time.perf_counter() - t0
+    # dim=512 puts the cap-proportional row gather firmly in charge
+    # (~2x separation); at dim=128 the per-vertex Python bookkeeping --
+    # identical across both models -- swamps it and the comparison is a
+    # coin flip. Min-of-repeats absorbs GC pauses and scheduler noise.
+    def best_fit_s(make_model):
+        best = float("inf")
+        for _ in range(2):
+            model = make_model()
+            t0 = time.perf_counter()
+            model.fit(dense)
+            best = min(best, time.perf_counter() - t0)
+        return model, best
+
+    hep, hep_time = best_fit_s(
+        lambda: HEP(dim=512, steps=6, neighbor_cap=64, batch_size=256, seed=0)
+    )
+    ahep, ahep_time = best_fit_s(
+        lambda: AHEP(dim=512, steps=6, neighbor_cap=4, batch_size=256, seed=0)
+    )
     assert ahep.peak_batch_rows < hep.peak_batch_rows
     assert ahep_time < hep_time
 

@@ -1,0 +1,654 @@
+"""Workload introspection layer: virtual-clock time series, critical-path
+analytics, hot-vertex/traffic mining and the bench-compare regression gate.
+
+The acceptance bar for the whole subsystem is bit-identical determinism:
+two runs of the same seeded workload must produce equal time-series
+dicts, critical-path reports and workload reports (plain ``==`` on the
+dictionaries, no tolerance).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from tests.format_checkers import (
+    check_chrome_trace,
+    check_experiment_payload,
+    check_prometheus_text,
+)
+from repro.cli import main
+from repro.errors import ReproError
+from repro.obs import (
+    NULL_RECORDER,
+    NULL_TIMESERIES,
+    ROUTES,
+    SEGMENTS,
+    AccessRecorder,
+    BenchSpec,
+    MetricRule,
+    TimeSeriesSampler,
+    analyze,
+    cache_efficacy,
+    classify_span,
+    compare_payloads,
+    critical_path,
+    fit_zipf,
+    flatten_payload,
+    inject_latency,
+    ledger_event_totals,
+    mine_workload,
+    render_analysis,
+    render_compare,
+    render_critical_path,
+    render_workload_report,
+)
+from repro.runtime import (
+    MetricsRegistry,
+    RpcRuntime,
+    Tracer,
+    VirtualClock,
+    chrome_trace,
+    prometheus_text,
+)
+from repro.runtime.metrics import Histogram
+from repro.sampling import (
+    DegreeBiasedNegativeSampler,
+    SamplingPipeline,
+    StoreProvider,
+    UniformNeighborSampler,
+    VertexTraverseSampler,
+)
+from repro.serving import (
+    ServingEngine,
+    constant_rate,
+    OpenLoopWorkload,
+)
+from repro.storage import ImportanceCachePolicy
+from repro.storage.cluster import make_store
+from repro.utils.rng import make_rng
+
+
+def _instrumented_workload(seed=0, steps=3, tick_us=500.0):
+    """The canonical 2-hop workload with tracer + recorder + sampler on."""
+    from repro.data import make_dataset
+
+    graph = make_dataset("taobao-small-sim", scale=0.1, seed=seed)
+    store = make_store(
+        graph,
+        4,
+        cache_policy=ImportanceCachePolicy(),
+        cache_budget_fraction=0.1,
+        seed=seed,
+    )
+    tracer = Tracer(seed=seed)
+    runtime = RpcRuntime(store, tracer=tracer)
+    store.attach_runtime(runtime)
+    recorder = AccessRecorder()
+    store.attach_recorder(recorder)
+    sampler = TimeSeriesSampler(runtime.metrics, runtime.clock, tick_us=tick_us)
+    store.attach_timeseries(sampler)
+    pipeline = SamplingPipeline(
+        traverse=VertexTraverseSampler(graph, vertex_type="user"),
+        neighborhood=UniformNeighborSampler(StoreProvider(store, from_part=0)),
+        negative=DegreeBiasedNegativeSampler(graph),
+        hop_nums=[10, 5],
+        neg_num=5,
+        metrics=runtime.metrics,
+        tracer=tracer,
+    )
+    rng = make_rng(seed)
+    for _ in range(steps):
+        pipeline.sample(32, rng)
+    sampler.sample_now()
+    return tracer, runtime, store, recorder, sampler
+
+
+# --------------------------------------------------------------------- #
+# Acceptance: bit-identical reports across same-seed runs
+# --------------------------------------------------------------------- #
+class TestDeterminism:
+    def test_same_seed_runs_produce_identical_reports(self):
+        t1, _, _, r1, s1 = _instrumented_workload(seed=3)
+        t2, _, _, r2, s2 = _instrumented_workload(seed=3)
+        assert s1.to_dict() == s2.to_dict()
+        assert s1.to_csv() == s2.to_csv()
+        assert analyze(t1) == analyze(t2)
+        assert mine_workload(r1) == mine_workload(r2)
+        assert ledger_event_totals(t1) == ledger_event_totals(t2)
+
+    def test_different_seeds_differ(self):
+        _, _, _, r1, _ = _instrumented_workload(seed=1)
+        _, _, _, r2, _ = _instrumented_workload(seed=2)
+        assert mine_workload(r1) != mine_workload(r2)
+
+    def test_reports_are_json_round_trippable(self):
+        t, _, _, r, s = _instrumented_workload()
+        for payload in (s.to_dict(), analyze(t), mine_workload(r)):
+            assert json.loads(json.dumps(payload)) == payload
+
+
+# --------------------------------------------------------------------- #
+# Time series sampler
+# --------------------------------------------------------------------- #
+class TestTimeSeries:
+    def test_null_object_is_disabled_and_inert(self):
+        assert NULL_TIMESERIES.enabled is False
+        assert NULL_TIMESERIES.poll() is False
+        assert NULL_TIMESERIES.sample_now() is None
+
+    def test_samples_land_on_tick_boundaries(self):
+        clock = VirtualClock()
+        metrics = MetricsRegistry()
+        counter = metrics.counter("reads")
+        ts = TimeSeriesSampler(metrics, clock, tick_us=100.0)
+        assert ts.poll() is False  # clock has not crossed a tick yet
+        counter.inc(3)
+        clock.advance(250.0)
+        assert ts.poll() is True
+        payload = ts.to_dict()
+        # One coalesced sample at floor(250/100)*100, never back-filled.
+        assert [t for t, _ in payload["series"]["reads"]] == [200.0]
+        assert payload["series"]["reads"][0][1] == 3
+        # Polling again without clock movement adds nothing.
+        assert ts.poll() is False
+        assert ts.n_samples == 1
+
+    def test_ring_buffer_evicts_oldest(self):
+        clock = VirtualClock()
+        metrics = MetricsRegistry()
+        g = metrics.gauge("depth")
+        ts = TimeSeriesSampler(metrics, clock, tick_us=10.0, capacity=4)
+        for i in range(10):
+            g.set(float(i))
+            clock.advance(10.0)
+            ts.poll()
+        assert ts.n_samples == 10  # snapshots taken, not retained
+        times = [t for t, _ in ts.to_dict()["series"]["depth"]]
+        assert times == [70.0, 80.0, 90.0, 100.0]  # oldest six evicted
+
+    def test_histogram_series_expose_count_and_percentiles(self):
+        clock = VirtualClock()
+        metrics = MetricsRegistry()
+        h = metrics.histogram("lat_us")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        ts = TimeSeriesSampler(metrics, clock, tick_us=5.0)
+        clock.advance(5.0)
+        ts.poll()
+        series = ts.to_dict()["series"]
+        assert series["lat_us:count"][0][1] == 4
+        assert "lat_us:p50" in series and "lat_us:p99" in series
+
+    def test_validation(self):
+        clock, metrics = VirtualClock(), MetricsRegistry()
+        with pytest.raises(ReproError):
+            TimeSeriesSampler(metrics, clock, tick_us=0.0)
+        with pytest.raises(ReproError):
+            TimeSeriesSampler(metrics, clock, capacity=0)
+
+    def test_csv_and_chrome_counter_exports(self):
+        _, _, _, _, ts = _instrumented_workload(steps=2)
+        csv_text = ts.to_csv()
+        lines = csv_text.splitlines()
+        assert lines[0] == "t_us,series,value"
+        assert len(lines) > 1
+        events = ts.chrome_counter_events()
+        assert events and all(ev["ph"] == "C" for ev in events)
+        assert check_chrome_trace({"traceEvents": events}) == []
+
+
+# --------------------------------------------------------------------- #
+# Critical-path analytics
+# --------------------------------------------------------------------- #
+class TestCriticalPath:
+    def test_segment_classification(self):
+        assert classify_span("pipeline.sample") == "sample"
+        assert classify_span("store.resolve_read") == "materialize"
+        assert classify_span("batch.plan") == "rpc"
+        assert classify_span("rpc.execute") == "queue"
+        assert classify_span("rpc.request") == "rpc"
+        assert classify_span("train.aggregate") == "aggregate"
+        assert classify_span("serve.request") == "sample"
+        assert classify_span("mystery.thing") == "other"
+
+    def test_self_time_excludes_children(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock, seed=0)
+        with tracer.span("pipeline.sample"):
+            clock.advance(100.0)
+            with tracer.span("rpc.request"):
+                clock.advance(400.0)
+            clock.advance(50.0)
+        path = critical_path(tracer, tracer.traces()[0])
+        by_name = {row["span"]: row for row in path}
+        assert by_name["pipeline.sample"]["duration_us"] == 550.0
+        assert by_name["pipeline.sample"]["self_us"] == 150.0
+        assert by_name["rpc.request"]["self_us"] == 400.0
+
+    def test_analyze_on_real_workload(self):
+        tracer, _, _, _, _ = _instrumented_workload()
+        report = analyze(tracer)
+        assert report["n_traces"] > 0
+        assert set(report["segments_total"]) == set(SEGMENTS)
+        assert report["latency_us"]["p99"] >= report["latency_us"]["p50"]
+        # Self-times are busy time: at least the root's wall latency per
+        # trace (concurrent RPC siblings can push the sum above it).
+        for tr in report["traces"]:
+            assert sum(tr["segments"].values()) >= tr["latency_us"] - 1e-6
+        # The tail is a subset of the whole run.
+        for seg in SEGMENTS:
+            assert (
+                report["segments_tail"][seg]
+                <= report["segments_total"][seg] + 1e-6
+            )
+        assert "p99" in render_analysis(report)
+        assert render_critical_path(tracer)
+
+    def test_analyze_empty_tracer(self):
+        report = analyze(Tracer(seed=0))
+        assert report["n_traces"] == 0
+        assert report["latency_us"]["p99"] == 0.0
+        assert all(v == 0.0 for v in report["segments_total"].values())
+
+
+# --------------------------------------------------------------------- #
+# Workload mining
+# --------------------------------------------------------------------- #
+class TestWorkloadMining:
+    def test_null_recorder_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.record(1, 0, 0, "local")  # must be a no-op
+        NULL_RECORDER.record_request("u", "fresh", "ok", True)
+
+    def test_recorder_routes_and_traffic(self):
+        rec = AccessRecorder()
+        rec.record(7, owner=1, issuer=0, route="remote")
+        rec.record(7, owner=1, issuer=0, route="remote")
+        rec.record(3, owner=0, issuer=0, route="local")
+        assert rec.vertex_reads[7] == 2
+        assert rec.route_reads["remote"] == 2
+        assert rec.traffic[(0, 1)] == 2
+        assert rec.cross_part_reads[7] == 2  # per-vertex counter
+        assert 3 not in rec.cross_part_reads
+        assert rec.total_reads == 3
+
+    def test_fit_zipf_recovers_exponent(self):
+        rng = make_rng(0)
+        from repro.utils.stats import ZipfSampler
+
+        draws = ZipfSampler(500, 1.1).sample(20000, rng)
+        counts = np.bincount(draws, minlength=500)
+        fit = fit_zipf(counts[counts > 0])
+        assert 0.8 <= fit["exponent"] <= 1.4
+        assert fit["top1_share"] > 0.01
+
+    def test_fit_zipf_edge_cases(self):
+        assert fit_zipf([10])["exponent"] == 0.0
+        with pytest.raises(ReproError):
+            fit_zipf([])
+
+    def test_mine_workload_report_shape(self):
+        _, _, store, rec, _ = _instrumented_workload()
+        report = mine_workload(rec, top_k=5)
+        assert report["total_reads"] == rec.total_reads
+        assert len(report["hot_vertices"]) <= 5
+        assert set(report["routes"]) == set(ROUTES)
+        shares = [h["share"] for h in report["hot_vertices"]]
+        assert shares == sorted(shares, reverse=True)
+        n = len(report["parts"])
+        assert len(report["traffic_matrix"]) == n
+        assert all(len(row) == n for row in report["traffic_matrix"])
+        assert 0.0 <= report["local_share"] <= 1.0
+        assert report["zipf"]["n_keys"] == report["unique_vertices"]
+        assert "hot vertices" in render_workload_report(report)
+
+    def test_mine_workload_empty(self):
+        report = mine_workload(AccessRecorder())
+        assert report["total_reads"] == 0
+        assert report["hot_vertices"] == []
+        assert report["zipf"] is None
+
+    def test_cache_efficacy_oracle_dominates_observed(self):
+        _, _, store, rec, _ = _instrumented_workload()
+        eff = cache_efficacy(rec, store.cost_model)
+        assert eff["cross_part_reads"] == sum(rec.cross_part_reads.values())
+        saved = [row["saved_vs_uncached"] for row in eff["oracle"]]
+        # More capacity never saves less.
+        assert saved == sorted(saved)
+        assert "cache efficacy" in render_workload_report(
+            mine_workload(rec), eff
+        )
+
+    def test_serving_requests_are_mined(self):
+        from repro.data import make_dataset
+
+        graph = make_dataset("taobao-small-sim", scale=0.1, seed=7)
+        store = make_store(
+            graph, 2,
+            cache_policy=ImportanceCachePolicy(),
+            cache_budget_fraction=0.1, seed=7,
+        )
+        store.attach_runtime(RpcRuntime(store))
+        rec = AccessRecorder()
+        engine = ServingEngine(store, recorder=rec, seed=7)
+        users = graph.vertices_of_type("user")
+        workload = OpenLoopWorkload(
+            users, duration_us=50_000.0, rate=constant_rate(400.0), seed=7
+        )
+        engine.run(workload)
+        report = mine_workload(rec)
+        assert report["serving"] is not None
+        assert sum(report["serving"]["outcomes"].values()) > 0
+        assert 0.0 <= report["serving"]["embed_cache_hit_rate"] <= 1.0
+
+
+# --------------------------------------------------------------------- #
+# Regression gate
+# --------------------------------------------------------------------- #
+_SPEC = BenchSpec(
+    experiment_id="toy",
+    script="bench_toy.py",
+    rules=(
+        MetricRule(r":p99_us$", rel_tol=0.10, direction="higher_is_worse"),
+        MetricRule(r":rps$", rel_tol=0.10, direction="lower_is_worse"),
+        MetricRule(r":count$", rel_tol=0.0, direction="both", abs_tol=2.0),
+    ),
+)
+
+
+def _payload(p99=1000.0, rps=500.0, count=100):
+    return {
+        "experiment_id": "toy",
+        "title": "toy",
+        "records": [
+            {"label": "lat", "measured": {"p99_us": p99}, "paper": {}},
+            {"label": "thru", "measured": {"rps": rps}, "paper": {}},
+            {"label": "vol", "measured": {"count": count}, "paper": {}},
+        ],
+    }
+
+
+class TestRegressionGate:
+    def test_flatten_payload(self):
+        flat = flatten_payload(_payload())
+        assert flat == {"lat:p99_us": 1000.0, "thru:rps": 500.0, "vol:count": 100}
+
+    def test_flatten_skips_bools_and_strings(self):
+        payload = {
+            "experiment_id": "x", "title": "x",
+            "records": [
+                {"label": "a", "measured": {"ok": True, "note": "hi", "v": 2.0},
+                 "paper": {}},
+                {"label": "b", "measured": 3.5, "paper": {}},
+            ],
+        }
+        assert flatten_payload(payload) == {"a:v": 2.0, "b": 3.5}
+
+    def test_identical_payloads_pass(self):
+        result = compare_payloads(_payload(), _payload(), _SPEC)
+        assert result["ok"] is True
+        assert all(m["status"] == "ok" for m in result["rows"])
+
+    def test_latency_regression_detected_direction_aware(self):
+        # +20% p99 is a regression; -20% is an improvement, not a failure.
+        worse = compare_payloads(_payload(), _payload(p99=1200.0), _SPEC)
+        assert worse["ok"] is False
+        assert any(m["status"] == "regression" for m in worse["rows"])
+        better = compare_payloads(_payload(), _payload(p99=800.0), _SPEC)
+        assert better["ok"] is True
+        assert any(m["status"] == "improved" for m in better["rows"])
+
+    def test_throughput_drop_detected(self):
+        result = compare_payloads(_payload(), _payload(rps=400.0), _SPEC)
+        assert result["ok"] is False
+
+    def test_abs_tolerance_band(self):
+        # count rule: rel_tol 0, abs_tol 2 — a drift of 2 passes, 3 fails.
+        assert compare_payloads(_payload(), _payload(count=102), _SPEC)["ok"]
+        assert not compare_payloads(_payload(), _payload(count=103), _SPEC)["ok"]
+
+    def test_missing_metric_is_a_failure(self):
+        fresh = _payload()
+        fresh["records"] = fresh["records"][:2]  # drop the count record
+        result = compare_payloads(_payload(), fresh, _SPEC)
+        assert result["ok"] is False
+        assert any(m["status"] == "missing" for m in result["rows"])
+
+    def test_inject_latency_trips_the_gate(self):
+        injected = inject_latency(_payload(), 20.0, _SPEC)
+        assert injected["records"][0]["measured"]["p99_us"] == 1200.0
+        # Only higher-is-worse metrics are inflated.
+        assert injected["records"][1]["measured"]["rps"] == 500.0
+        result = compare_payloads(_payload(), injected, _SPEC)
+        assert result["ok"] is False
+        assert "regression" in render_compare(
+            {"ok": False, "results": [result]}
+        )
+
+    def test_rule_validation(self):
+        with pytest.raises(ReproError):
+            MetricRule(r"x", rel_tol=-0.1, direction="both")
+        with pytest.raises(ReproError):
+            MetricRule(r"x", rel_tol=0.1, direction="sideways")
+
+    def test_end_to_end_single_bench_compare(self, tmp_path):
+        # The full subprocess path for the cheapest gated bench: a fresh
+        # --smoke run vs the committed smoke baseline must pass clean.
+        import os
+
+        from repro.obs import DEFAULT_SUITE, compare_suite
+
+        repo = os.path.join(os.path.dirname(__file__), "..")
+        report = compare_suite(
+            bench_dir=os.path.join(repo, "benchmarks"),
+            baseline_dir=os.path.join(repo, "benchmarks", "results", "smoke"),
+            out_dir=str(tmp_path),
+            specs=DEFAULT_SUITE,
+            smoke=True,
+            only=["trace_overhead"],
+        )
+        assert report["ok"] is True, render_compare(report)
+        (res,) = report["results"]
+        assert res["n_checked"] >= 3
+
+    def test_missing_baseline_fails_suite(self, tmp_path):
+        import os
+
+        from repro.obs import compare_suite
+
+        repo = os.path.join(os.path.dirname(__file__), "..")
+        report = compare_suite(
+            bench_dir=os.path.join(repo, "benchmarks"),
+            baseline_dir=str(tmp_path / "nowhere"),
+            out_dir=str(tmp_path / "out"),
+            smoke=True,
+            only=["trace_overhead"],
+        )
+        assert report["ok"] is False
+        assert "no baseline" in report["results"][0]["error"]
+
+
+# --------------------------------------------------------------------- #
+# Exporter edge cases (satellite: empty traces, zero-duration spans,
+# degenerate histograms)
+# --------------------------------------------------------------------- #
+class TestExporterEdgeCases:
+    def test_chrome_trace_of_empty_tracer(self):
+        payload = chrome_trace(Tracer(seed=0))
+        assert payload["traceEvents"] == []
+        # The checker flags emptiness but the object is still well-formed.
+        assert check_chrome_trace(payload) == ["traceEvents is empty"]
+
+    def test_chrome_trace_zero_duration_span(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock, seed=0)
+        with tracer.span("pipeline.sample"):
+            pass  # no clock movement: dur == 0
+        payload = chrome_trace(tracer)
+        assert payload["traceEvents"][0]["dur"] == 0
+        assert check_chrome_trace(payload) == []
+
+    def test_histogram_percentiles_empty_and_single(self):
+        empty = Histogram("empty")
+        assert empty.percentiles([50.0, 95.0, 99.0]) == [0.0, 0.0, 0.0]
+        single = Histogram("single")
+        single.observe(42.0)
+        assert single.percentiles([0.0, 50.0, 100.0]) == [42.0, 42.0, 42.0]
+
+    def test_critical_path_zero_duration_trace(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock, seed=0)
+        with tracer.span("pipeline.sample"):
+            pass
+        report = analyze(tracer)
+        assert report["n_traces"] == 1
+        assert report["latency_us"]["p99"] == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Prometheus label escaping (exporter + checker round trip)
+# --------------------------------------------------------------------- #
+class TestPrometheusEscaping:
+    def test_exporter_escapes_and_validates(self):
+        metrics = MetricsRegistry()
+        metrics.counter(
+            "weird", labels={"path": 'c:\\tmp\\x', "msg": 'say "hi"\nok'}
+        ).inc()
+        text = prometheus_text(metrics)
+        assert '\\\\tmp\\\\x' in text
+        assert '\\"hi\\"' in text
+        assert '\\nok' in text
+        assert check_prometheus_text(text) == []
+
+    def test_checker_rejects_unescaped_values(self):
+        bad_quote = (
+            '# TYPE m counter\nm{l="a"b"} 1\n'
+        )
+        bad_newline = '# TYPE m counter\nm{l="a\nb"} 1\n'
+        bad_backslash = '# TYPE m counter\nm{l="a\\b"} 1\n'
+        for text in (bad_quote, bad_newline, bad_backslash):
+            assert any(
+                "unparseable sample line" in p
+                for p in check_prometheus_text(text)
+            ), text
+
+    def test_checker_accepts_escaped_values(self):
+        text = '# TYPE m counter\nm{l="a\\\\b\\"c\\nd"} 1\n'
+        assert check_prometheus_text(text) == []
+
+
+# --------------------------------------------------------------------- #
+# Experiment payload checker (CI schema gate)
+# --------------------------------------------------------------------- #
+class TestExperimentPayloadChecker:
+    def test_valid_payload(self):
+        assert check_experiment_payload(_payload()) == []
+
+    def test_scalar_and_bool_measured_allowed(self):
+        payload = {
+            "experiment_id": "x", "title": "t",
+            "records": [
+                {"label": "a", "measured": 1.5, "paper": "n/a"},
+                {"label": "b", "measured": {"deterministic": True}, "paper": {}},
+            ],
+        }
+        assert check_experiment_payload(payload) == []
+
+    def test_rejections(self):
+        assert check_experiment_payload("not json {")
+        assert check_experiment_payload({"experiment_id": "", "title": "t",
+                                         "records": []})
+        bad_nested = {
+            "experiment_id": "x", "title": "t",
+            "records": [
+                {"label": "a", "measured": {"deep": {"nested": 1}}, "paper": {}}
+            ],
+        }
+        assert any(
+            "flat" in p for p in check_experiment_payload(bad_nested)
+        )
+        missing_paper = {
+            "experiment_id": "x", "title": "t",
+            "records": [{"label": "a", "measured": 1}],
+        }
+        assert any(
+            "missing paper" in p for p in check_experiment_payload(missing_paper)
+        )
+
+    def test_committed_baselines_validate(self):
+        import glob
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
+                            "results")
+        paths = glob.glob(os.path.join(root, "*.json")) + glob.glob(
+            os.path.join(root, "smoke", "*.json")
+        )
+        assert paths, "no committed benchmark results found"
+        for path in paths:
+            with open(path, encoding="utf-8") as f:
+                problems = check_experiment_payload(f.read())
+            assert problems == [], f"{path}: {problems}"
+
+
+# --------------------------------------------------------------------- #
+# CLI surfaces
+# --------------------------------------------------------------------- #
+_CLI_ARGS = ["--scale", "0.1", "--steps", "2", "--workers", "2"]
+
+
+class TestCli:
+    def _json_out(self, capsys, argv):
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert check_experiment_payload(payload) == []
+        return payload
+
+    def test_workload_report_text(self, capsys):
+        assert main(["workload-report", *_CLI_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "hot vertices" in out and "traffic" in out
+
+    def test_workload_report_json(self, capsys):
+        payload = self._json_out(
+            capsys, ["workload-report", *_CLI_ARGS, "--json"]
+        )
+        assert payload["experiment_id"] == "cli_workload"
+        labels = [r["label"] for r in payload["records"]]
+        assert "workload" in labels and "routes" in labels
+
+    def test_timeseries_csv_and_chrome(self, capsys, tmp_path):
+        assert main(["timeseries", *_CLI_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("t_us,series,value")
+        path = tmp_path / "ts.json"
+        assert main([
+            "timeseries", *_CLI_ARGS, "--format", "chrome",
+            "--output", str(path),
+        ]) == 0
+        with open(path, encoding="utf-8") as f:
+            assert check_chrome_trace(f.read()) == []
+
+    def test_trace_json(self, capsys, tmp_path):
+        payload = self._json_out(capsys, [
+            "trace", *_CLI_ARGS, "--output", str(tmp_path / "t.json"), "--json",
+        ])
+        assert payload["experiment_id"] == "cli_trace"
+
+    def test_metrics_report_json(self, capsys):
+        payload = self._json_out(
+            capsys, ["metrics-report", *_CLI_ARGS, "--json"]
+        )
+        assert payload["experiment_id"] == "cli_metrics"
+        assert payload["records"]
+
+    def test_timeseries_determinism_across_processes_shape(self, capsys):
+        # Same CLI args twice -> byte-identical CSV (the CLI-level
+        # restatement of the dict-equality acceptance test).
+        assert main(["timeseries", *_CLI_ARGS]) == 0
+        first = capsys.readouterr().out
+        assert main(["timeseries", *_CLI_ARGS]) == 0
+        assert capsys.readouterr().out == first
