@@ -1,0 +1,173 @@
+"""GNN compute-path cost: full-graph forward vs minibatch k-hop blocks vs SIGN.
+
+The paper's Algorithm 1 embeds **every** vertex each training step; the
+loss then reads ~batch rows, so almost all forward/backward work at
+n >= 10k is thrown away. This bench pits three configurations of the same
+unsupervised link objective against each other on taobao-small-sim:
+
+* ``full``      — the seed behaviour: full-graph forward per step;
+* ``minibatch`` — per-step k-hop :class:`~repro.sampling.blocks.KHopBlock`
+  seeded from the deduped batch, encoder over block rows only;
+* ``sign``      — no per-step sampling at all: offline row-normalized
+  SpMM powers (ragged ``segment_mean_np`` over the CSR) + an MLP head.
+
+Reported per arm: mean wall-clock per training step, the per-stage
+breakdown (sample / materialize / aggregate / combine / backward /
+optimizer), deterministic block-size accounting, and held-out
+link-prediction AUC so the speed column can't hide a quality regression.
+
+Acceptance (full run): minibatch blocks cut per-step forward+backward
+cost >= 10x at n >= 10k / batch 512 / kmax 2, with AUC within noise of
+the full path. The full run uses n=104000, where a 512-edge batch's
+2-hop block covers <10% of the graph; at n~10k the block saturates the
+vertex set (negatives alone seed ~25% of it) and the win is only ~3x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import SIGN, GNNFramework
+from repro.bench import ExperimentReport
+from repro.data import make_dataset, train_test_split_edges
+from repro.runtime.tracing import TRAIN_STAGES, StageProfiler
+from repro.tasks import evaluate_link_prediction
+
+from _common import emit, parse_bench_args
+
+BATCH = 512
+KMAX = 2
+FANOUT = 8
+NEG_NUM = 5
+DIM = 64
+SEED = 0
+
+
+def _stage_ms(prof: StageProfiler) -> "dict[str, float]":
+    """Mean per-step milliseconds of each canonical training stage."""
+    steps = max(int(prof.metrics.counter("train.steps").value), 1)
+    totals = prof.stage_totals()
+    return {name: totals[name] / steps / 1000.0 for name in TRAIN_STAGES}
+
+
+def _auc(model, split) -> float:
+    return evaluate_link_prediction(
+        model.embeddings(), split, per_type_average=False
+    ).roc_auc
+
+
+#: Forward+backward stages — the cost the block path attacks (sampling
+#: and optimizer are shared-shape work).
+FWD_BWD = ("materialize", "aggregate", "combine", "backward")
+
+
+def _run(smoke: bool) -> ExperimentReport:
+    scale = 0.5 if smoke else 20.0
+    epochs = 1
+    steps = 3 if smoke else 10
+    graph = make_dataset("taobao-small-sim", scale=scale, seed=SEED)
+    split = train_test_split_edges(graph, 0.2, seed=SEED)
+    report = ExperimentReport(
+        "gnn_minibatch",
+        "Per-step GNN compute cost: full-graph vs k-hop blocks vs SIGN "
+        f"(n={graph.n_vertices}, batch {BATCH}, kmax {KMAX}, fanout {FANOUT})",
+    )
+
+    step_ms = {}
+    fwdbwd_ms = {}
+    aucs = {}
+    for label, minibatch in (("full", False), ("minibatch", True)):
+        prof = StageProfiler()
+        model = GNNFramework(
+            dim=DIM, kmax=KMAX, fanout=FANOUT, batch_size=BATCH,
+            neg_num=NEG_NUM, epochs=epochs, max_steps_per_epoch=steps,
+            minibatch_blocks=minibatch, profiler=prof, seed=SEED,
+        )
+        model.fit(split.train_graph)
+        h = prof.metrics.histogram("train.step_us")
+        stages = _stage_ms(prof)
+        step_ms[label] = h.total / h.count / 1000.0
+        fwdbwd_ms[label] = sum(stages[name] for name in FWD_BWD)
+        aucs[label] = _auc(model, split)
+        measured = {
+            "step_ms": round(step_ms[label], 2),
+            "fwd_bwd_ms": round(fwdbwd_ms[label], 2),
+            "steps": int(h.count),
+            "auc": round(aucs[label], 2),
+        }
+        measured.update({f"{k}_ms": round(v, 2) for k, v in stages.items()})
+        if minibatch:
+            stats = model.block_stats
+            measured["input_rows_per_step"] = int(
+                stats["input_rows"] / stats["steps"]
+            )
+            measured["block_rows_per_step"] = int(
+                stats["total_rows"] / stats["steps"]
+            )
+        report.add(label, measured)
+
+    prof = StageProfiler()
+    sign = SIGN(
+        dim=DIM, hops=KMAX, batch_size=BATCH, neg_num=NEG_NUM,
+        epochs=epochs, max_steps_per_epoch=steps, profiler=prof, seed=SEED,
+    )
+    sign.fit(split.train_graph)
+    h = prof.metrics.histogram("train.step_us")
+    stages = _stage_ms(prof)
+    step_ms["sign"] = h.total / h.count / 1000.0
+    aucs["sign"] = _auc(sign, split)
+    measured = {
+        "step_ms": round(step_ms["sign"], 2),
+        "fwd_bwd_ms": round(sum(stages[name] for name in FWD_BWD), 2),
+        "steps": int(h.count),
+        "auc": round(aucs["sign"], 2),
+    }
+    measured.update({f"{k}_ms": round(v, 2) for k, v in stages.items()})
+    report.add("sign", measured)
+
+    speedup = fwdbwd_ms["full"] / fwdbwd_ms["minibatch"]
+    report.add(
+        "speedup",
+        {
+            "fwd_bwd_minibatch_vs_full": f"{speedup:.1f}x",
+            "step_minibatch_vs_full": f"{step_ms['full'] / step_ms['minibatch']:.1f}x",
+            "step_sign_vs_full": f"{step_ms['full'] / step_ms['sign']:.1f}x",
+            "auc_gap_minibatch": round(abs(aucs["full"] - aucs["minibatch"]), 2),
+            "auc_gap_sign": round(abs(aucs["full"] - aucs["sign"]), 2),
+        },
+    )
+    report.note(
+        "identical objective, negative sampler and seed across arms; "
+        "full-graph embeds all n vertices per step, minibatch embeds only "
+        "the batch's k-hop block (final all-vertex pass excluded from "
+        "per-step stages), SIGN trades all per-step sampling for offline "
+        "segment-mean SpMM powers"
+    )
+    report.meta = {"speedup": speedup, "aucs": aucs}
+    return report
+
+
+def test_gnn_minibatch(benchmark) -> None:
+    report = benchmark.pedantic(lambda: _run(smoke=False), iterations=1, rounds=1)
+    emit(report)
+    assert report.meta["speedup"] >= 10.0
+    assert abs(report.meta["aucs"]["full"] - report.meta["aucs"]["minibatch"]) < 10.0
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    args = parse_bench_args(__doc__.splitlines()[0], argv)
+    report = _run(smoke=args.smoke)
+    emit(report, print_json=args.json)
+    if not args.smoke:
+        assert report.meta["speedup"] >= 10.0, (
+            f"minibatch speedup {report.meta['speedup']:.1f}x below the 10x bar"
+        )
+        aucs = report.meta["aucs"]
+        assert abs(aucs["full"] - aucs["minibatch"]) < 10.0, (
+            f"minibatch AUC drifted: {aucs}"
+        )
+        np.testing.assert_array_less(50.0, aucs["minibatch"])
+
+
+if __name__ == "__main__":
+    main()

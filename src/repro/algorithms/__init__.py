@@ -29,6 +29,7 @@ from repro.algorithms.mve import MVE
 from repro.algorithms.netmf import NetMF
 from repro.algorithms.node2vec import Node2Vec
 from repro.algorithms.pmne import PMNE
+from repro.algorithms.sign import SIGN
 from repro.algorithms.struc2vec import Struc2Vec
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "FastGCN",
     "ASGCN",
     "GraphSAGE",
+    "SIGN",
     "HEP",
     "AHEP",
     "GATNE",

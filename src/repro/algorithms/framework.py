@@ -28,6 +28,7 @@ from repro.nn.tensor import Tensor
 from repro.ops.aggregate import make_aggregator
 from repro.ops.combine import make_combiner
 from repro.sampling.base import GraphProvider
+from repro.sampling.blocks import build_block
 from repro.sampling.neighborhood import (
     ImportanceNeighborSampler,
     TopKNeighborSampler,
@@ -106,6 +107,31 @@ class _GNNEncoder(Module):
                 h = F.l2_normalize(h)  # Algorithm 1 line 7
         return h
 
+    def forward_block(self, features: Tensor, block: "object") -> Tensor:
+        """Embed only a :class:`~repro.sampling.blocks.KHopBlock`'s seeds.
+
+        Runs the identical per-hop ops as :meth:`forward` over the block's
+        compact id space: hop k gathers level-k states through the block's
+        relabeled child/self indices instead of global ``(n, fanout)``
+        tables. Every op is row-wise, so output row ``i`` is ulp-identical
+        to the full-graph forward's row ``block.seeds[i]`` when the block
+        was built from the same per-vertex hop tables.
+        """
+        with self._stage("materialize"):
+            h = features.gather_rows(block.layers[0])
+        if self.input_proj is not None:
+            h = self.input_proj(h)
+        for k in range(block.n_hops):
+            with self._stage("materialize"):
+                neigh = h.gather_rows(block.child_index[k].reshape(-1))
+                h_self = h.gather_rows(block.self_index[k])
+            with self._stage("aggregate"):
+                h_neigh = self.aggregators[k](neigh, block.hop_nums[k])
+            with self._stage("combine"):
+                h = self.combiners[k](h_self, h_neigh)
+                h = F.l2_normalize(h)  # Algorithm 1 line 7
+        return h
+
 
 class GNNFramework(EmbeddingModel):
     """Configurable Algorithm-1 GNN with unsupervised link training.
@@ -136,6 +162,16 @@ class GNNFramework(EmbeddingModel):
         embeddings are bit-identical across depths; the buffer adds
         cross-batch frontier overlap measurement
         (``pipeline.coalesced``) and feeds the overlap makespan model.
+    minibatch_blocks:
+        When True, each training step builds a k-hop
+        :class:`~repro.sampling.blocks.KHopBlock` seeded from the deduped
+        ``(src, dst, negs)`` batch ids and runs the encoder over only the
+        block's rows — per-step forward/backward cost proportional to the
+        batch instead of the graph. Blocks draw frontiers from a dedicated
+        RNG stream (derived from ``seed``), so the batch stream stays
+        bit-identical to the full-graph path at every prefetch depth. The
+        final all-vertex embedding pass still runs full-graph once after
+        training. Default False (the paper's full-graph Algorithm 1).
     """
 
     name = "gnn-framework"
@@ -161,6 +197,7 @@ class GNNFramework(EmbeddingModel):
         profiler: "object | None" = None,
         prefetch_depth: int = 0,
         timeseries: "object | None" = None,
+        minibatch_blocks: bool = False,
     ) -> None:
         if kmax < 1:
             raise TrainingError(f"kmax must be >= 1, got {kmax}")
@@ -189,6 +226,7 @@ class GNNFramework(EmbeddingModel):
         self.seed = seed
         self.profiler = profiler
         self.prefetch_depth = prefetch_depth
+        self.minibatch_blocks = minibatch_blocks
         #: Optional repro.obs TimeSeriesSampler polled once per training
         #: step (needs a profiler with a bound virtual clock to tick).
         self.timeseries = timeseries
@@ -252,8 +290,18 @@ class GNNFramework(EmbeddingModel):
         edge_sampler = EdgeTraverseSampler(graph)
         neg_sampler = DegreeBiasedNegativeSampler(graph)
         feat_tensor = Tensor(features)
-        with stage("sample"):
-            hop_tables = self._sample_hop_tables(graph, sampler, rng)
+        hop_nums = [self.fanout] * self.kmax
+        # Blocks draw per-step frontiers from a dedicated stream so the
+        # (src, dst, negs) batch stream consumes ``rng`` in exactly the
+        # full-graph order — prefetch depths stay bit-identical.
+        block_rng = make_rng(self.seed + 0x5EED) if self.minibatch_blocks else None
+        #: Deterministic per-fit block accounting: steps trained on blocks,
+        #: feature rows gathered, and vertex rows across all block levels.
+        self.block_stats = {"steps": 0, "input_rows": 0, "total_rows": 0}
+        hop_tables: "list[np.ndarray] | None" = None
+        if not self.minibatch_blocks:
+            with stage("sample"):
+                hop_tables = self._sample_hop_tables(graph, sampler, rng)
 
         steps = min(self.max_steps_per_epoch, max(1, graph.n_edges // self.batch_size))
         self.loss_history = []
@@ -286,7 +334,11 @@ class GNNFramework(EmbeddingModel):
             ),
         )
         for epoch in range(self.epochs):
-            if self.resample_each_epoch and epoch > 0:
+            if (
+                not self.minibatch_blocks
+                and self.resample_each_epoch
+                and epoch > 0
+            ):
                 with stage("sample"):
                     hop_tables = self._sample_hop_tables(graph, sampler, rng)
             epoch_losses = []
@@ -295,9 +347,22 @@ class GNNFramework(EmbeddingModel):
                 with prof.step() if prof is not None else nullcontext():
                     src, dst, negs = next(batch_iter)
                     optimizer.zero_grad()
-                    h = encoder(feat_tensor, hop_tables)
+                    if self.minibatch_blocks:
+                        with stage("sample"):
+                            seeds = np.unique(np.concatenate([src, dst, negs]))
+                            block = build_block(seeds, sampler, hop_nums, block_rng)
+                            self.block_stats["steps"] += 1
+                            self.block_stats["input_rows"] += block.n_input_rows
+                            self.block_stats["total_rows"] += block.total_rows()
+                        h = encoder.forward_block(feat_tensor, block)
+                        rows = block.seed_positions
+                    else:
+                        h = encoder(feat_tensor, hop_tables)
+                        rows = lambda ids: ids  # noqa: E731 - global id space
                     loss = skipgram_negative_loss(
-                        h.gather_rows(src), h.gather_rows(dst), h.gather_rows(negs)
+                        h.gather_rows(rows(src)),
+                        h.gather_rows(rows(dst)),
+                        h.gather_rows(rows(negs)),
                     )
                     with stage("backward"):
                         loss.backward()
@@ -318,6 +383,13 @@ class GNNFramework(EmbeddingModel):
                         self.stopped_early = True
                         break
 
+        # The final all-vertex embedding pass runs unprofiled: stage totals
+        # stay pure per-training-step cost, comparable across modes.
+        encoder.profiler = None
+        if hop_tables is None:
+            # Minibatch mode never sampled full tables: one final
+            # full-graph pass produces the all-vertex embedding matrix.
+            hop_tables = self._sample_hop_tables(graph, sampler, rng)
         h_final = encoder(feat_tensor, hop_tables).numpy()
         self._embeddings = unit_rows(h_final)
         return self

@@ -34,6 +34,54 @@ from repro.sampling.traverse import EdgeTraverseSampler
 from repro.utils.rng import make_rng
 
 
+def typed_adjacency(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    vertex_types: np.ndarray,
+    n_types: int,
+) -> "list[tuple[np.ndarray, np.ndarray]]":
+    """Split one CSR adjacency into per-target-type CSRs, order-preserving.
+
+    Masking the flat ``indices`` by target type keeps both the row grouping
+    and the in-row neighbor order, so type ``c``'s neighbor list of vertex
+    ``v`` is ``t_indices[t_indptr[v]:t_indptr[v+1]]`` — the per-(vertex,
+    type) neighbor lists HEP's EP term reads, without any per-vertex loop.
+    """
+    n = indptr.size - 1
+    row_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    out = []
+    for c in range(n_types):
+        mask = vertex_types[indices] == c
+        counts = np.bincount(row_ids[mask], minlength=n)
+        t_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+        out.append((t_indptr, indices[mask]))
+    return out
+
+
+def hep_neighbor_rows(
+    t_indptr: np.ndarray,
+    t_indices: np.ndarray,
+    vertices: np.ndarray,
+    cap: int,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """HEP's deterministic padded pick, batched: (valid, (n_valid, cap)).
+
+    Per valid vertex (non-empty typed list): the first ``cap`` neighbors,
+    cyclically tiled when the list is shorter — one gather via a modular
+    column index, id-identical to the old per-vertex ``_pad(typed[:cap])``.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    deg = t_indptr[vertices + 1] - t_indptr[vertices]
+    valid = vertices[deg > 0]
+    if valid.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros((0, 0), dtype=np.int64)
+    take = np.minimum(deg[deg > 0], cap)
+    col = np.arange(cap, dtype=np.int64)
+    return valid, t_indices[t_indptr[valid][:, None] + col % take[:, None]]
+
+
 class HEP(EmbeddingModel):
     """Embedding propagation over typed neighborhoods (full neighbor sets).
 
@@ -72,23 +120,6 @@ class HEP(EmbeddingModel):
         self.peak_batch_rows = 0
 
     # ------------------------------------------------------------------ #
-    def _pick_neighbors(
-        self,
-        nbrs: np.ndarray,
-        degrees: np.ndarray,
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Neighbor subset for one vertex/type; HEP takes (capped) all."""
-        if nbrs.size <= self.neighbor_cap:
-            return nbrs
-        if not self.adaptive_sampling:
-            return nbrs[: self.neighbor_cap]
-        # AHEP: variance-minimizing importance sampling — probability
-        # proportional to neighbor degree (the dominant term of the
-        # propagated-norm variance bound).
-        w = degrees[nbrs].astype(np.float64) + 1.0
-        return nbrs[rng.choice(nbrs.size, size=self.neighbor_cap, replace=False, p=w / w.sum())]
-
     def fit(self, graph: AttributedHeterogeneousGraph) -> "HEP":
         if not isinstance(graph, AttributedHeterogeneousGraph):
             raise TrainingError("HEP/AHEP need an AHG")
@@ -110,47 +141,14 @@ class HEP(EmbeddingModel):
         self.peak_batch_rows = 0
 
         from repro.nn import functional as F
-        from repro.utils.alias import AliasTable
+        from repro.utils.alias import GroupedAliasTable
 
-        # Per-(vertex, type) neighbor lists — computed once. HEP's padded
-        # pick is deterministic, so it is cached outright; AHEP caches an
-        # alias table over the variance-minimizing weights and redraws
-        # ``neighbor_cap`` samples (with replacement — standard importance
-        # sampling) each step in O(cap).
-        typed_cache: dict[tuple[int, int], np.ndarray] = {}
-        alias_cache: dict[tuple[int, int], "AliasTable | None"] = {}
-        hep_row_cache: dict[tuple[int, int], np.ndarray] = {}
-
-        def _typed(v: int, c: int) -> np.ndarray:
-            key = (v, c)
-            if key not in typed_cache:
-                nbrs = graph.out_neighbors(v)
-                typed_cache[key] = nbrs[vertex_types[nbrs] == c]
-            return typed_cache[key]
-
-        def _pad(picked: np.ndarray) -> np.ndarray:
-            if picked.size < self.neighbor_cap:
-                reps = int(np.ceil(self.neighbor_cap / picked.size))
-                picked = np.tile(picked, reps)
-            return picked[: self.neighbor_cap]
-
-        def _row(v: int, c: int) -> "np.ndarray | None":
-            typed = _typed(v, c)
-            if typed.size == 0:
-                return None
-            if not self.adaptive_sampling:
-                key = (v, c)
-                if key not in hep_row_cache:
-                    hep_row_cache[key] = _pad(typed[: self.neighbor_cap])
-                return hep_row_cache[key]
-            if typed.size <= self.neighbor_cap:
-                return _pad(typed)
-            key = (v, c)
-            table = alias_cache.get(key)
-            if table is None:
-                table = AliasTable(degrees[typed].astype(np.float64) + 1.0)
-                alias_cache[key] = table
-            return typed[table.draw_batch(rng, self.neighbor_cap)]
+        indptr, indices, _ = graph.csr_arrays()
+        typed_csr = typed_adjacency(indptr, indices, vertex_types, n_types)
+        # AHEP redraw machinery: one grouped alias table per type over the
+        # variance-minimizing weights (neighbor degree + 1), built lazily —
+        # a whole batch of heavy rows then resamples in one kernel call.
+        grouped_alias: "list[GroupedAliasTable | None]" = [None] * n_types
 
         def typed_neighbor_table(
             vertices: np.ndarray, c: int
@@ -158,19 +156,27 @@ class HEP(EmbeddingModel):
             """(valid vertices, (n_valid, cap) padded neighbor ids) for type c.
 
             Cost — the gathered row count — is proportional to the cap,
-            which is the whole HEP-vs-AHEP trade.
+            which is the whole HEP-vs-AHEP trade. One batched cyclic gather
+            covers HEP rows and AHEP's small rows (first ``cap`` neighbors,
+            tiled when fewer — identical ids to the old per-vertex pad);
+            AHEP rows over the cap are overwritten by one grouped
+            importance draw (with replacement — standard importance
+            sampling) in O(n_heavy * cap).
             """
-            rows = []
-            valid = []
-            for v in vertices:
-                picked = _row(int(v), c)
-                if picked is None:
-                    continue
-                rows.append(picked)
-                valid.append(int(v))
-            if not valid:
-                return np.zeros(0, dtype=np.int64), np.zeros((0, 0), dtype=np.int64)
-            return np.asarray(valid, dtype=np.int64), np.stack(rows)
+            t_indptr, t_indices = typed_csr[c]
+            cap = self.neighbor_cap
+            valid, rows = hep_neighbor_rows(t_indptr, t_indices, vertices, cap)
+            if valid.size and self.adaptive_sampling:
+                vdeg = t_indptr[valid + 1] - t_indptr[valid]
+                heavy = vdeg > cap
+                if heavy.any():
+                    if grouped_alias[c] is None:
+                        grouped_alias[c] = GroupedAliasTable(
+                            degrees[t_indices].astype(np.float64) + 1.0, t_indptr
+                        )
+                    flat = grouped_alias[c].draw_for_groups(valid[heavy], cap, rng)
+                    rows[heavy] = t_indices[flat]
+            return valid, rows
 
         for _ in range(self.steps):
             src, dst = edges.sample(self.batch_size, rng)

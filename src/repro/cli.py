@@ -42,6 +42,7 @@ def _model_factories():
         GraphSAGE,
         HierarchicalGNN,
         LINE,
+        SIGN,
         MixtureGNN,
         NetMF,
         Node2Vec,
@@ -64,7 +65,13 @@ def _model_factories():
         ),
         "line": lambda a: LINE(dim=a.dim, seed=a.seed, **_kv_kwargs(a)),
         "netmf": lambda a: NetMF(dim=a.dim),
-        "graphsage": lambda a: GraphSAGE(dim=a.dim, epochs=a.epochs, seed=a.seed),
+        "graphsage": lambda a: GraphSAGE(
+            dim=a.dim,
+            epochs=a.epochs,
+            seed=a.seed,
+            minibatch_blocks=getattr(a, "minibatch_blocks", False),
+        ),
+        "sign": lambda a: SIGN(dim=a.dim, epochs=a.epochs, seed=a.seed),
         "gatne": lambda a: GATNE(dim=a.dim, epochs=a.epochs, seed=a.seed),
         "mixture-gnn": lambda a: MixtureGNN(dim=a.dim, epochs=a.epochs, seed=a.seed),
         "hierarchical-gnn": lambda a: HierarchicalGNN(dim=a.dim, seed=a.seed),
@@ -99,6 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="hide this edge fraction before training (for later evaluate)",
+    )
+    p_tr.add_argument(
+        "--minibatch-blocks", action="store_true",
+        help="train graphsage on per-step k-hop computation blocks "
+        "(forward/backward cost scales with the batch, not the graph)",
     )
     p_tr.add_argument(
         "--backend", choices=["dense", "kv"], default="dense",

@@ -106,6 +106,24 @@ DEFAULT_SUITE: "tuple[BenchSpec, ...]" = (
         ),
     ),
     BenchSpec(
+        "gnn_minibatch",
+        "bench_gnn_minibatch.py",
+        (
+            # Deterministic at a fixed seed: step counts, block sizes and
+            # held-out AUC. The step_ms / stage_ms wall-clock columns (and
+            # the speedup ratios derived from them) are deliberately
+            # unruled.
+            MetricRule(r":steps$", rel_tol=0.0, direction="both"),
+            MetricRule(
+                r":(input|block)_rows_per_step$",
+                rel_tol=0.05,
+                direction="both",
+                abs_tol=2.0,
+            ),
+            MetricRule(r":auc$", rel_tol=0.10, direction="lower_is_worse"),
+        ),
+    ),
+    BenchSpec(
         "trace_overhead",
         "bench_trace_overhead.py",
         (

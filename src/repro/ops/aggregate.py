@@ -1,9 +1,15 @@
 """AGGREGATE implementations (paper §3.4).
 
 All take the flattened neighbor-state matrix ``(batch * fanout, d_in)`` plus
-the fanout, and emit ``(batch, d_out)``. The paper names element-wise mean,
-max-pooling neural network and LSTM as the aggregating methods used across
-GNNs; we add sum and (GAT-style) attention.
+a segment spec, and emit ``(batch, d_out)``. The paper names element-wise
+mean, max-pooling neural network and LSTM as the aggregating methods used
+across GNNs; we add sum and (GAT-style) attention.
+
+Segment spec: an ``int`` fanout means equal-size segments (the sampled
+fixed-fanout fast path, reshape-based kernels); a 1-D **offsets array**
+(``len batch+1``, CSR-style) means ragged segments, routed through the
+:mod:`repro.nn.functional` ``segment_*`` kernels. Empty segments aggregate
+to zeros (LSTM: the zero initial state).
 """
 
 from __future__ import annotations
@@ -18,6 +24,17 @@ from repro.nn.tensor import Tensor
 from repro.ops.base import Aggregator, register_aggregator
 
 
+def _as_offsets(fanout: "int | np.ndarray") -> "np.ndarray | None":
+    """``None`` for an int fanout (fixed fast path), else the offsets array.
+
+    Full validation of ragged offsets (monotone from 0, covering the row
+    count) happens inside the segment kernels themselves.
+    """
+    if isinstance(fanout, (int, np.integer)):
+        return None
+    return np.asarray(fanout, dtype=np.int64)
+
+
 @register_aggregator
 class MeanAggregator(Aggregator):
     """Weighted element-wise mean followed by a dense transform
@@ -28,8 +45,12 @@ class MeanAggregator(Aggregator):
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
         self.dense = Dense(in_dim, out_dim, rng, activation="relu")
 
-    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
-        pooled = F.mean_rows_segmented(neighbor_states, fanout)
+    def forward(self, neighbor_states: Tensor, fanout: "int | np.ndarray") -> Tensor:
+        offsets = _as_offsets(fanout)
+        if offsets is None:
+            pooled = F.mean_rows_segmented(neighbor_states, fanout)
+        else:
+            pooled = F.segment_mean(neighbor_states, offsets)
         return self.dense(pooled)
 
 
@@ -42,8 +63,12 @@ class SumAggregator(Aggregator):
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
         self.dense = Dense(in_dim, out_dim, rng, activation="relu")
 
-    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
-        pooled = F.sum_rows_segmented(neighbor_states, fanout)
+    def forward(self, neighbor_states: Tensor, fanout: "int | np.ndarray") -> Tensor:
+        offsets = _as_offsets(fanout)
+        if offsets is None:
+            pooled = F.sum_rows_segmented(neighbor_states, fanout)
+        else:
+            pooled = F.segment_sum(neighbor_states, offsets)
         return self.dense(pooled)
 
 
@@ -68,9 +93,13 @@ class MaxPoolAggregator(Aggregator):
         self.pre = Dense(in_dim, pool_dim, rng, activation="relu")
         self.post = Dense(pool_dim, out_dim, rng)
 
-    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
+    def forward(self, neighbor_states: Tensor, fanout: "int | np.ndarray") -> Tensor:
+        offsets = _as_offsets(fanout)
         transformed = self.pre(neighbor_states)
-        pooled = F.max_rows_segmented(transformed, fanout)
+        if offsets is None:
+            pooled = F.max_rows_segmented(transformed, fanout)
+        else:
+            pooled = F.segment_max(transformed, offsets)
         return self.post(pooled)
 
 
@@ -83,7 +112,10 @@ class LSTMAggregator(Aggregator):
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
         self.cell = LSTMCell(in_dim, out_dim, rng)
 
-    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
+    def forward(self, neighbor_states: Tensor, fanout: "int | np.ndarray") -> Tensor:
+        offsets = _as_offsets(fanout)
+        if offsets is not None:
+            return self._forward_ragged(neighbor_states, offsets)
         n, d = neighbor_states.shape
         if n % fanout:
             raise OperatorError(f"{n} rows not divisible by fanout {fanout}")
@@ -94,6 +126,29 @@ class LSTMAggregator(Aggregator):
             idx = np.arange(batch) * fanout + step
             x = neighbor_states.gather_rows(idx)
             h, c = self.cell(x, h, c)
+        return h
+
+    def _forward_ragged(self, neighbor_states: Tensor, offsets: np.ndarray) -> Tensor:
+        """Step the cell over ragged segments, shortest retiring first.
+
+        Step ``t`` advances only the segments with more than ``t``
+        neighbors: their step-``t`` rows are gathered, the cell runs on
+        that packed sub-batch, and :meth:`~repro.nn.tensor.Tensor
+        .scatter_rows` merges the updated ``(h, c)`` back — segments that
+        already ran out keep their final state, empty segments keep the
+        zero initial state.
+        """
+        sizes = np.diff(offsets)
+        if sizes.size == 0 or np.any(sizes < 0):
+            raise OperatorError("offsets must describe at least one segment")
+        batch = sizes.size
+        h, c = self.cell.init_state(batch)
+        for step in range(int(sizes.max())):
+            active = np.flatnonzero(sizes > step)
+            x = neighbor_states.gather_rows(offsets[:-1][active] + step)
+            h_new, c_new = self.cell(x, h.gather_rows(active), c.gather_rows(active))
+            h = h.scatter_rows(active, h_new)
+            c = c.scatter_rows(active, c_new)
         return h
 
 
@@ -111,16 +166,19 @@ class AttentionAggregator(Aggregator):
         self.transform = Dense(in_dim, out_dim, rng)
         self.score = Dense(out_dim, 1, rng, bias=False)
 
-    def forward(self, neighbor_states: Tensor, fanout: int) -> Tensor:
+    def forward(self, neighbor_states: Tensor, fanout: "int | np.ndarray") -> Tensor:
+        offsets = _as_offsets(fanout)
         n, _ = neighbor_states.shape
-        if n % fanout:
-            raise OperatorError(f"{n} rows not divisible by fanout {fanout}")
-        batch = n // fanout
         transformed = self.transform(neighbor_states)  # (n, out)
-        raw = self.score(F.tanh(transformed)).reshape(batch, fanout)
-        weights = F.softmax(raw, axis=-1).reshape(n, 1)
-        weighted = transformed * weights
-        return F.sum_rows_segmented(weighted, fanout)
+        raw = self.score(F.tanh(transformed))  # (n, 1)
+        if offsets is None:
+            if n % fanout:
+                raise OperatorError(f"{n} rows not divisible by fanout {fanout}")
+            batch = n // fanout
+            weights = F.softmax(raw.reshape(batch, fanout), axis=-1).reshape(n, 1)
+            return F.sum_rows_segmented(transformed * weights, fanout)
+        weights = F.segment_softmax(raw, offsets)
+        return F.segment_sum(transformed * weights, offsets)
 
 
 def make_aggregator(

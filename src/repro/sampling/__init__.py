@@ -13,6 +13,7 @@ from repro.sampling.base import (
     SnapshotProvider,
     StoreProvider,
 )
+from repro.sampling.blocks import KHopBlock, build_block, build_block_from_tables
 from repro.sampling.kernels import CsrAdjacency
 from repro.sampling.negative import (
     DegreeBiasedNegativeSampler,
@@ -45,6 +46,9 @@ __all__ = [
     "SnapshotProvider",
     "StoreProvider",
     "CsrAdjacency",
+    "KHopBlock",
+    "build_block",
+    "build_block_from_tables",
     "VertexTraverseSampler",
     "EdgeTraverseSampler",
     "NeighborhoodSample",

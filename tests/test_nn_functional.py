@@ -164,3 +164,92 @@ def test_segment_divisibility_checked():
         F.mean_rows_segmented(x, 2)
     with pytest.raises(OperatorError):
         F.max_rows_segmented(x, 3)
+
+
+# ---------------------------------------------------------------------- #
+# Ragged (CSR-style) segment kernels
+# ---------------------------------------------------------------------- #
+RAGGED_OFFSETS = np.array([0, 3, 3, 7, 8, 12])  # includes an empty segment
+SEGMENT_KERNELS = [F.segment_sum, F.segment_mean, F.segment_max, F.segment_softmax]
+SEGMENT_IDS = ["sum", "mean", "max", "softmax"]
+
+
+@pytest.mark.parametrize("kernel", SEGMENT_KERNELS, ids=SEGMENT_IDS)
+@pytest.mark.parametrize("backend", F.SEGMENT_BACKENDS)
+def test_segment_kernel_gradients(kernel, backend):
+    x = Tensor(make_rng(3).normal(size=(12, 4)), requires_grad=True)
+    check_gradients(
+        lambda: (kernel(x, RAGGED_OFFSETS, backend=backend) ** 2).sum(), [x]
+    )
+
+
+@pytest.mark.parametrize("kernel", SEGMENT_KERNELS, ids=SEGMENT_IDS)
+def test_segment_backends_agree(kernel):
+    x = Tensor(make_rng(4).normal(size=(12, 4)), requires_grad=True)
+    outs, grads = [], []
+    for backend in F.SEGMENT_BACKENDS:
+        x.zero_grad()
+        out = kernel(x, RAGGED_OFFSETS, backend=backend)
+        (out**2).sum().backward()
+        outs.append(out.numpy())
+        grads.append(x.grad.copy())
+    np.testing.assert_allclose(outs[0], outs[1], atol=1e-12)
+    np.testing.assert_allclose(grads[0], grads[1], atol=1e-12)
+
+
+def test_segment_sum_values_and_empty_segment():
+    x = Tensor(np.arange(8, dtype=float).reshape(4, 2))
+    out = F.segment_sum(x, np.array([0, 1, 1, 4])).numpy()
+    np.testing.assert_allclose(out, [[0.0, 1.0], [0.0, 0.0], [12.0, 15.0]])
+    out = F.segment_mean(x, np.array([0, 1, 1, 4])).numpy()
+    np.testing.assert_allclose(out, [[0.0, 1.0], [0.0, 0.0], [4.0, 5.0]])
+    out = F.segment_max(x, np.array([0, 1, 1, 4])).numpy()
+    np.testing.assert_allclose(out, [[0.0, 1.0], [0.0, 0.0], [6.0, 7.0]])
+
+
+def test_segment_softmax_normalizes_within_segments():
+    x = Tensor(make_rng(5).normal(size=(12, 1)), requires_grad=True)
+    s = F.segment_softmax(x, RAGGED_OFFSETS).numpy()
+    assert s.shape == (12, 1)
+    for lo, hi in zip(RAGGED_OFFSETS[:-1], RAGGED_OFFSETS[1:]):
+        if hi > lo:
+            np.testing.assert_allclose(s[lo:hi].sum(), 1.0)
+    # Single-row segment comes out as exactly one.
+    np.testing.assert_allclose(s[7], 1.0)
+
+
+@pytest.mark.parametrize(
+    "ragged,fixed",
+    [
+        (F.segment_sum, F.sum_rows_segmented),
+        (F.segment_mean, F.mean_rows_segmented),
+        (F.segment_max, F.max_rows_segmented),
+    ],
+    ids=["sum", "mean", "max"],
+)
+def test_segment_matches_fixed_fanout_on_uniform_segments(ragged, fixed):
+    x = Tensor(make_rng(6).normal(size=(12, 3)), requires_grad=True)
+    uniform = np.arange(0, 13, 4)
+    out_r = ragged(x, uniform)
+    out_f = fixed(x, 4)
+    np.testing.assert_allclose(out_r.numpy(), out_f.numpy(), atol=1e-12)
+    x.zero_grad()
+    (out_r**2).sum().backward()
+    g_r = x.grad.copy()
+    x.zero_grad()
+    (out_f**2).sum().backward()
+    np.testing.assert_allclose(g_r, x.grad, atol=1e-12)
+
+
+def test_segment_offsets_validation():
+    x = _param(6, 2)
+    with pytest.raises(OperatorError):
+        F.segment_sum(x, np.array([1, 3, 6]))  # does not start at 0
+    with pytest.raises(OperatorError):
+        F.segment_sum(x, np.array([0, 4, 3, 6]))  # not monotone
+    with pytest.raises(OperatorError):
+        F.segment_sum(x, np.array([0, 3, 5]))  # does not cover all rows
+    with pytest.raises(OperatorError):
+        F.segment_sum(x, np.array([0, 6]), backend="nope")
+    with pytest.raises(OperatorError):
+        F.segment_sum(Tensor(np.zeros(6)), np.array([0, 6]))  # 1-D input
