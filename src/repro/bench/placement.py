@@ -1,0 +1,206 @@
+"""Adaptive-placement benchmark harness: shifting-Zipf point reads.
+
+Drives the same seeded request schedule against two arms of a
+:class:`~repro.storage.cluster.DistributedGraphStore`:
+
+* **static** — the paper's offline placement: hash partition + importance
+  cache, untouched for the whole run;
+* **adaptive** — the same starting state with a
+  :class:`~repro.storage.placement.PlacementController` polled between
+  requests, free to promote/demote replicas and migrate vertices within
+  its per-epoch traffic budget.
+
+The workload is deliberately adversarial to static placement: point reads
+(batches of a few vertices, so remote misses cannot amortize into one big
+coalesced RPC) drawn Zipf-skewed over a hot set that **rotates every
+phase** — a fresh rank→vertex permutation per phase invalidates whatever
+the previous phase localized — and each hot vertex has a per-phase *home*
+issuer that dominates its reads (tenant affinity), which is what makes
+migration, not just replication, the right move.
+
+Per-request latency is the cost-ledger delta around the read (the same §4
+pricing every other bench uses); controller work happens between requests
+and is accounted separately (``placement_overhead_us``, migration RPCs on
+the ``migration_rpc`` ledger event), so the p50/p95/p99 comparison is
+strictly over request service time while the *totals* still price the
+migration traffic on the same clock. Everything is seeded: two same-seed
+calls return ``==``-equal payloads. Shared by
+``benchmarks/bench_placement.py`` and the ``repro placement-bench`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.obs.workload import AccessRecorder
+from repro.storage.cache import ImportanceCachePolicy
+from repro.storage.cluster import make_store
+from repro.storage.costmodel import EV_MIGRATION_RPC, EV_REMOTE_RPC
+from repro.storage.placement import PlacementConfig, PlacementController
+from repro.utils.rng import make_rng
+from repro.utils.stats import ZipfSampler
+
+
+@dataclass(frozen=True)
+class PlacementWorkload:
+    """Knobs of the shifting-Zipf point-read workload."""
+
+    n_workers: int = 4
+    n_phases: int = 3
+    requests_per_phase: int = 4000
+    reads_per_request: int = 2
+    zipf_exponent: float = 1.5
+    #: Probability a request is issued by its lead vertex's per-phase
+    #: home worker (the rest issue uniformly at random).
+    issuer_affinity: float = 0.85
+    seed: int = 0
+
+
+def build_schedule(
+    n_vertices: int, workload: PlacementWorkload
+) -> "list[tuple[int, tuple[int, ...]]]":
+    """The seeded request schedule both arms replay verbatim.
+
+    Each phase draws a fresh rank→vertex permutation (the hot-set
+    rotation) and a fresh per-vertex home-issuer map; requests inside a
+    phase are Zipf draws with tenant-affine issuers.
+    """
+    rng = make_rng(workload.seed)
+    schedule: "list[tuple[int, tuple[int, ...]]]" = []
+    for _phase in range(workload.n_phases):
+        perm = rng.permutation(n_vertices).astype(np.int64)
+        sampler = ZipfSampler(perm, exponent=workload.zipf_exponent)
+        home = rng.integers(0, workload.n_workers, size=n_vertices)
+        for _ in range(workload.requests_per_phase):
+            reads = sampler.sample(workload.reads_per_request, rng)
+            if rng.random() < workload.issuer_affinity:
+                issuer = int(home[int(reads[0])])
+            else:
+                issuer = int(rng.integers(workload.n_workers))
+            schedule.append((issuer, tuple(int(v) for v in reads)))
+    return schedule
+
+
+def run_arm(
+    graph: Graph,
+    schedule: "list[tuple[int, tuple[int, ...]]]",
+    workload: PlacementWorkload,
+    adaptive: bool,
+    placement: "PlacementConfig | None" = None,
+) -> dict:
+    """Replay ``schedule`` against one arm; returns the measured dict."""
+    store = make_store(
+        graph,
+        workload.n_workers,
+        cache_policy=ImportanceCachePolicy(),
+        cache_budget_fraction=0.02,
+        seed=workload.seed,
+    )
+    controller: "PlacementController | None" = None
+    if adaptive:
+        controller = PlacementController(
+            store, config=placement or PlacementConfig()
+        )
+    else:
+        store.attach_recorder(AccessRecorder())
+
+    latencies = np.zeros(len(schedule), dtype=np.float64)
+    overhead_us = 0.0
+    for i, (issuer, vertices) in enumerate(schedule):
+        before = store.ledger.modelled_micros()
+        store.get_neighbors_batch(vertices, issuer)
+        latencies[i] = store.ledger.modelled_micros() - before
+        if controller is not None:
+            before = store.ledger.modelled_micros()
+            controller.poll()
+            overhead_us += store.ledger.modelled_micros() - before
+
+    routes = store.recorder.route_reads
+    total_reads = store.recorder.total_reads
+    counts = store.ledger.counts
+    measured = {
+        "remote_rpcs": int(counts[EV_REMOTE_RPC]),
+        "remote_reads": int(
+            sum(routes.get(r, 0) for r in ("remote", "failover", "suspect"))
+        ),
+        "local_share": round(
+            (routes.get("local", 0) + routes.get("cache_hit", 0))
+            / total_reads,
+            6,
+        )
+        if total_reads
+        else 0.0,
+        "p50_us": round(float(np.percentile(latencies, 50)), 3),
+        "p95_us": round(float(np.percentile(latencies, 95)), 3),
+        "p99_us": round(float(np.percentile(latencies, 99)), 3),
+        "request_us": round(float(latencies.sum()), 3),
+        "placement_us": round(overhead_us, 3),
+    }
+    if controller is not None:
+        totals = controller.totals()
+        measured.update(
+            {
+                "epochs": totals["epochs"],
+                "promoted": totals["promoted"],
+                "demoted": totals["demoted"],
+                "migrated": totals["migrated"],
+                "migrate_items": totals["migrate_items"],
+                "migrate_aborted": totals["migrate_aborted"],
+                "migration_rpcs": int(counts[EV_MIGRATION_RPC]),
+                "max_epoch_items": max(
+                    (int(r["migrate_items"]) for r in controller.epoch_reports),
+                    default=0,
+                ),
+                "epoch_item_budget": int(
+                    (placement or PlacementConfig()).migrate_burst_items
+                ),
+            }
+        )
+    return measured
+
+
+def run_placement_comparison(
+    graph: Graph,
+    workload: PlacementWorkload,
+    placement: "PlacementConfig | None" = None,
+) -> dict:
+    """Both arms over one schedule, plus the headline derived metrics."""
+    schedule = build_schedule(graph.n_vertices, workload)
+    static = run_arm(graph, schedule, workload, adaptive=False)
+    adaptive = run_arm(
+        graph, schedule, workload, adaptive=True, placement=placement
+    )
+    rpc_reduction = (
+        static["remote_rpcs"] / adaptive["remote_rpcs"]
+        if adaptive["remote_rpcs"]
+        else float("inf")
+    )
+    read_reduction = (
+        static["remote_reads"] / adaptive["remote_reads"]
+        if adaptive["remote_reads"]
+        else float("inf")
+    )
+    return {
+        "workload": {
+            "n_vertices": int(graph.n_vertices),
+            "n_workers": workload.n_workers,
+            "n_phases": workload.n_phases,
+            "requests": workload.n_phases * workload.requests_per_phase,
+            "reads_per_request": workload.reads_per_request,
+            "zipf_exponent": workload.zipf_exponent,
+            "issuer_affinity": workload.issuer_affinity,
+            "seed": workload.seed,
+        },
+        "static": static,
+        "adaptive": adaptive,
+        "remote_rpc_reduction": round(rpc_reduction, 3),
+        "remote_read_reduction": round(read_reduction, 3),
+        "p99_improvement": round(
+            static["p99_us"] / adaptive["p99_us"], 3
+        )
+        if adaptive["p99_us"]
+        else float("inf"),
+    }

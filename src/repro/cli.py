@@ -16,6 +16,7 @@ Commands
 ``workload-report`` mine hot vertices / traffic matrix / cache efficacy
 ``timeseries``      virtual-clock metric series of the sampled workload
 ``bench-compare``   regression-gate fresh smoke benchmarks vs baselines
+``placement-bench`` adaptive placement vs static partition under shifting skew
 
 The CLI covers the adopt-and-script path: generate once, train many models
 against the same artifact, compare evaluations — without writing Python.
@@ -316,6 +317,42 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument(
         "--metrics", action="store_true",
         help="also print the runtime metrics table (p50/p95/p99 columns)",
+    )
+
+    p_pb = sub.add_parser(
+        "placement-bench",
+        help="adaptive placement (replica promotion + incremental "
+        "migration) vs the static partition under shifting Zipf skew",
+    )
+    p_pb.add_argument("--workers", type=int, default=4)
+    p_pb.add_argument("--scale", type=float, default=0.2)
+    p_pb.add_argument("--seed", type=int, default=7)
+    p_pb.add_argument(
+        "--phases", type=int, default=3,
+        help="hot-set rotations: each phase draws a fresh rank->vertex "
+        "permutation (default: 3)",
+    )
+    p_pb.add_argument(
+        "--requests", type=int, default=4000,
+        help="point-read requests per phase (default: 4000)",
+    )
+    p_pb.add_argument(
+        "--zipf", type=float, default=2.5,
+        help="Zipf skew exponent of the per-phase read draw (default: 2.5)",
+    )
+    p_pb.add_argument(
+        "--affinity", type=float, default=0.85,
+        help="probability a request is issued by its lead vertex's home "
+        "worker (default: 0.85)",
+    )
+    p_pb.add_argument(
+        "--epoch-us", type=float, default=800.0,
+        help="controller decision-epoch length in simulated microseconds",
+    )
+    p_pb.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable payload (the benchmarks/_common.py "
+        "record contract) instead of the rendered table",
     )
 
     p_fm = sub.add_parser(
@@ -879,6 +916,101 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_placement_bench(args: argparse.Namespace) -> int:
+    from repro.bench.placement import PlacementWorkload, run_placement_comparison
+    from repro.data import make_dataset as _make
+    from repro.storage.placement import PlacementConfig
+    from repro.utils.tables import format_table
+
+    workload = PlacementWorkload(
+        n_workers=args.workers,
+        n_phases=args.phases,
+        requests_per_phase=args.requests,
+        reads_per_request=1,
+        zipf_exponent=args.zipf,
+        issuer_affinity=args.affinity,
+        seed=args.seed,
+    )
+    placement = PlacementConfig(
+        epoch_us=args.epoch_us,
+        promote_per_epoch=192,
+        demote_per_epoch=256,
+        migrate_per_epoch=32,
+        migrate_dominance=1.5,
+        min_decision_weight=0.3,
+    )
+    graph = _make("taobao-small-sim", scale=args.scale, seed=0)
+    result = run_placement_comparison(graph, workload, placement)
+    static, adaptive = result["static"], result["adaptive"]
+    if args.json:
+        _print_contract_payload(
+            "cli_placement",
+            "adaptive placement vs static partition (repro placement-bench)",
+            [
+                ("workload", dict(result["workload"])),
+                ("static partition + importance cache", dict(static)),
+                ("adaptive placement (controller on)", dict(adaptive)),
+                (
+                    "headline",
+                    {
+                        "remote_rpc_reduction": result["remote_rpc_reduction"],
+                        "remote_read_reduction": result["remote_read_reduction"],
+                        "p99_improvement": result["p99_improvement"],
+                    },
+                ),
+            ],
+        )
+        return 0
+    print(
+        format_table(
+            ["quantity", "static", "adaptive"],
+            [
+                ["remote RPCs", static["remote_rpcs"], adaptive["remote_rpcs"]],
+                ["remote reads", static["remote_reads"], adaptive["remote_reads"]],
+                ["local share", static["local_share"], adaptive["local_share"]],
+                ["p50 us", static["p50_us"], adaptive["p50_us"]],
+                ["p95 us", static["p95_us"], adaptive["p95_us"]],
+                ["p99 us", static["p99_us"], adaptive["p99_us"]],
+                [
+                    "request total (ms)",
+                    round(static["request_us"] / 1e3, 3),
+                    round(adaptive["request_us"] / 1e3, 3),
+                ],
+            ],
+            title=f"placement-bench: {args.phases} phases x {args.requests} "
+            f"Zipf({args.zipf:g}) point reads, hot set rotated per phase",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["decision epochs", adaptive["epochs"]],
+                ["replicas promoted", adaptive["promoted"]],
+                ["replicas demoted", adaptive["demoted"]],
+                ["vertices migrated", adaptive["migrated"]],
+                ["migration RPCs", adaptive["migration_rpcs"]],
+                ["items migrated", adaptive["migrate_items"]],
+                [
+                    "max items / epoch",
+                    f"{adaptive['max_epoch_items']} "
+                    f"(budget {adaptive['epoch_item_budget']})",
+                ],
+                ["migrations aborted", adaptive["migrate_aborted"]],
+                ["controller time (ms)", round(adaptive["placement_us"] / 1e3, 3)],
+            ],
+            title="adaptation (priced on the same virtual clock)",
+        )
+    )
+    print(
+        f"\nheadline: {result['remote_rpc_reduction']}x fewer remote RPCs, "
+        f"p99 {static['p99_us']:g} -> {adaptive['p99_us']:g} us "
+        f"({result['p99_improvement']}x)"
+    )
+    return 0
+
+
 def _cmd_fault_matrix(args: argparse.Namespace) -> int:
     from repro.bench.fault_matrix import run_fault_matrix
     from repro.data import make_dataset as _make
@@ -965,6 +1097,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "workload-report": _cmd_workload_report,
         "timeseries": _cmd_timeseries,
         "bench-compare": _cmd_bench_compare,
+        "placement-bench": _cmd_placement_bench,
     }
     try:
         return handlers[args.command](args)

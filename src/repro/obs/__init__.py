@@ -42,9 +42,11 @@ from repro.obs.workload import (
     NULL_RECORDER,
     ROUTES,
     AccessRecorder,
+    WindowedAccessRecorder,
     cache_efficacy,
     fit_zipf,
     ledger_event_totals,
+    mine_windowed,
     mine_workload,
     render_workload_report,
 )
@@ -59,6 +61,7 @@ __all__ = [
     "ROUTES",
     "SEGMENTS",
     "TimeSeriesSampler",
+    "WindowedAccessRecorder",
     "analyze",
     "cache_efficacy",
     "classify_span",
@@ -69,6 +72,7 @@ __all__ = [
     "flatten_payload",
     "inject_latency",
     "ledger_event_totals",
+    "mine_windowed",
     "mine_workload",
     "render_analysis",
     "render_compare",

@@ -124,6 +124,28 @@ DEFAULT_SUITE: "tuple[BenchSpec, ...]" = (
         ),
     ),
     BenchSpec(
+        "placement_adaptive",
+        "bench_placement.py",
+        (
+            # Virtual-clock deterministic at the fixed seed: latencies are
+            # ledger deltas, counts are controller decisions. The headline
+            # "...x" strings and the determinism boolean flatten away.
+            MetricRule(r":p(50|95|99)_us$", rel_tol=0.10, abs_tol=1.0),
+            MetricRule(r":remote_rpcs$", rel_tol=0.10, abs_tol=5.0),
+            MetricRule(
+                r":local_share$", rel_tol=0.05, direction="lower_is_worse"
+            ),
+            MetricRule(
+                r"^adaptation:(epochs|promoted|demoted|migrated"
+                r"|migrate_items|migration_rpcs)$",
+                rel_tol=0.10,
+                direction="both",
+                abs_tol=2.0,
+            ),
+            MetricRule(r"^adaptation:max_epoch_items$", rel_tol=0.25, abs_tol=5.0),
+        ),
+    ),
+    BenchSpec(
         "trace_overhead",
         "bench_trace_overhead.py",
         (

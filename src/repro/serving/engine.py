@@ -108,6 +108,7 @@ class ServingEngine:
         tracer: "object | None" = None,
         recorder: "object" = NULL_RECORDER,
         timeseries: "object" = NULL_TIMESERIES,
+        placement: "object | None" = None,
         seed: int = 0,
     ) -> None:
         self.store = store
@@ -123,6 +124,12 @@ class ServingEngine:
         #: request. Null objects by default.
         self.recorder = recorder
         self.timeseries = timeseries
+        #: Optional :class:`~repro.storage.placement.PlacementController`
+        #: polled once per finished request — adaptation runs between
+        #: services, never inside one, so per-request latency stays a pure
+        #: read measurement while promotions/migrations still track the
+        #: serving traffic on the same clock.
+        self.placement = placement
         self.seed = seed
         self._rng = make_rng(seed)
         n = store.graph.n_vertices
@@ -258,6 +265,8 @@ class ServingEngine:
         if self.recorder.enabled:
             self.recorder.record_request(req.user, req.cls, outcome, cache_hit)
         self.timeseries.poll()
+        if self.placement is not None:
+            self.placement.poll()
         return rec
 
     def run(self, workload) -> "list[ServeRecord]":

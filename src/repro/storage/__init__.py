@@ -15,6 +15,7 @@ from repro.storage.cache import (
     NeighborCache,
     RandomCachePolicy,
     make_cache,
+    make_pinned_cache,
 )
 from repro.storage.cluster import DistributedGraphStore, build_distributed
 from repro.storage.costmodel import CostModel
@@ -29,6 +30,11 @@ from repro.storage.importance import (
     khop_degrees,
     plan_importance_cache,
 )
+from repro.storage.placement import (
+    PlacementConfig,
+    PlacementController,
+    attach_placement,
+)
 from repro.storage.replicas import ReplicaRegistry
 from repro.storage.server import GraphServer
 
@@ -41,6 +47,7 @@ __all__ = [
     "RandomCachePolicy",
     "LRUCachePolicy",
     "make_cache",
+    "make_pinned_cache",
     "CostModel",
     "GraphServer",
     "ReplicaRegistry",
@@ -53,4 +60,7 @@ __all__ = [
     "importance_scores",
     "khop_degrees",
     "plan_importance_cache",
+    "PlacementConfig",
+    "PlacementController",
+    "attach_placement",
 ]

@@ -139,6 +139,22 @@ class SeparateAttributeStore:
         """Whether ``vertex`` has stored attributes."""
         return vertex in self._vertex_handle
 
+    def remove_vertex_attr(self, vertex: int) -> "np.ndarray | None":
+        """Drop ``vertex``'s attribute mapping; returns the row or None.
+
+        Used when ownership of a vertex migrates away: the handle mapping
+        and any cached decode leave with it. The interned payload stays in
+        the dedup index (other vertices may share it), but the inline-cost
+        counter is rolled back so space accounting tracks live rows only.
+        """
+        handle = self._vertex_handle.pop(vertex, None)
+        if handle is None:
+            return None
+        self.iv_cache.delete(vertex)
+        value = self.iv.lookup_vector(handle)
+        self._inline_bytes -= value.nbytes
+        return value
+
     # ------------------------------------------------------------------ #
     # Space accounting (the §3.2 cost comparison)
     # ------------------------------------------------------------------ #

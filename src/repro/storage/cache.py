@@ -107,6 +107,35 @@ class NeighborCache:
         """Whether ``vertex`` is held as a pinned (policy-selected) entry."""
         return vertex in self._pinned
 
+    def unpin(self, vertex: int) -> bool:
+        """Release a pinned entry (placement demotion); True if it was held.
+
+        Unlike :meth:`invalidate` this touches only the pinned side — a
+        demand-filled copy of the same vertex (possible under mixed
+        policies) survives, because demotion is a capacity decision, not a
+        staleness one.
+        """
+        if self._pinned.pop(vertex, None) is None:
+            return False
+        self._pinned_keys = None
+        if self._lru.peek(vertex) is None:
+            self._deregister(vertex)
+        return True
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of pinned entries currently held."""
+        return len(self._pinned)
+
+    @property
+    def free_pin_slots(self) -> int:
+        """Pin capacity still available (promotion headroom)."""
+        return max(0, self.capacity - len(self._pinned))
+
+    def pinned_vertices(self) -> tuple[int, ...]:
+        """Sorted ids of all pinned entries (deterministic scan order)."""
+        return tuple(sorted(self._pinned))
+
     def admit(self, vertex: int, neighbors: np.ndarray) -> None:
         """Offer a fetched entry for demand-filled (LRU) caching.
 
@@ -258,5 +287,17 @@ def make_cache(
     for v in policy.select(graph, budget, rng):
         cache.pin(int(v), graph.out_neighbors(int(v)))
     # Pinned caches do not demand-fill: zero out the LRU side.
+    cache._lru = LRUCache(0)
+    return cache
+
+
+def make_pinned_cache(capacity: int) -> NeighborCache:
+    """Empty pin-only cache (no demand fill, batch-probe capable).
+
+    The placement controller installs these on servers that start with no
+    cache so promotions have somewhere to land; contents are decided online
+    rather than by a :class:`CachePolicy`.
+    """
+    cache = NeighborCache(capacity)
     cache._lru = LRUCache(0)
     return cache

@@ -52,6 +52,7 @@ from repro.storage.costmodel import (
     EV_REMOTE_RPC,
     EV_REPLICA_REFRESH,
     EV_SUSPECT_ROUTE,
+    EV_VERTEX_MIGRATED,
     CostModel,
 )
 from repro.obs.timeseries import NULL_TIMESERIES
@@ -567,6 +568,30 @@ class DistributedGraphStore:
                             EV_ITEM_SHIPPED, times=int(fresh.size)
                         )
         return applied
+
+    def commit_migration(self, vertex: int, new_part: int) -> int:
+        """Flip ownership of ``vertex`` to ``new_part``; returns the old owner.
+
+        The placement controller calls this only after the data handoff
+        succeeded (row installed on ``new_part``, old owner released), so
+        the flip is the last, purely-local step of the migration protocol —
+        reads before it route to the old owner's (still-installed) shard,
+        reads after it to the new owner's. The new owner's cached replica
+        of the vertex, if any, is dropped: owned rows are served from the
+        shard, and a lingering registry entry would advertise a failover
+        copy on the very server whose failure it should cover.
+        """
+        if not 0 <= new_part < self.n_workers:
+            raise StorageError(f"unknown worker {new_part}")
+        if not self.servers[new_part].owns(int(vertex)):
+            raise StorageError(
+                f"cannot commit migration of vertex {vertex}: "
+                f"worker {new_part} has not ingested it"
+            )
+        previous = self.assignment.reassign_vertex(int(vertex), new_part)
+        self.servers[new_part].neighbor_cache.invalidate(int(vertex))
+        self.ledger.record(EV_VERTEX_MIGRATED)
+        return previous
 
     def reset_ledger(self) -> None:
         """Zero the cost counters (cache contents are kept)."""

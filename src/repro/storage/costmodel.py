@@ -41,6 +41,16 @@ EV_EMB_CACHE_HIT = "emb_cache_hit"  # embedding row served from the staleness
 # cache (no RPC, possibly a bounded number of versions behind)
 EV_EMB_ROW_UPDATE = "emb_row_update"  # one embedding row updated in place by
 # a pushed sparse gradient (server-side optimizer application)
+EV_REPLICA_INSTALL = "replica_install"  # adjacency row pinned on a non-owner
+# by the placement controller (promotion; priced like a replica refresh)
+EV_REPLICA_DROP = "replica_drop"  # pinned replica evicted by the controller
+# (demotion; bookkeeping only, no wire traffic)
+EV_VERTEX_MIGRATED = "vertex_migrated"  # ownership of one vertex handed from
+# one server to another by the incremental repartitioner (commit bookkeeping;
+# the data movement itself is priced through the migration RPCs)
+EV_MIGRATION_RPC = "migration_rpc"  # one migration-protocol round trip
+# (fetch or release). Kept distinct from EV_REMOTE_RPC so benchmarks can
+# report read-path traffic and migration traffic separately.
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,15 @@ class CostModel:
     emb_row_local_us: float = 0.8
     emb_cache_hit_us: float = 0.3
     emb_row_update_us: float = 0.6
+    replica_install_us: float = 100.0
+    replica_drop_us: float = 0.5
+    vertex_migrate_us: float = 5.0
+    migration_rpc_us: float = 100.0
+    #: Expected refreshes per read for a cached vertex — the paper's §4
+    #: cache-maintenance term. A replica is "worth keeping" while the saved
+    #: remote reads outweigh refresh pushes; at the defaults the break-even
+    #: importance works out to the paper's τ = 0.2 threshold.
+    cache_churn_ratio: float = 0.199
 
     def cost_table(self) -> dict[str, float]:
         """Event-name -> µs mapping consumed by :class:`CostAccumulator`."""
@@ -83,7 +102,57 @@ class CostModel:
             EV_EMB_LOCAL_ROW: self.emb_row_local_us,
             EV_EMB_CACHE_HIT: self.emb_cache_hit_us,
             EV_EMB_ROW_UPDATE: self.emb_row_update_us,
+            EV_REPLICA_INSTALL: self.replica_install_us,
+            EV_REPLICA_DROP: self.replica_drop_us,
+            EV_VERTEX_MIGRATED: self.vertex_migrate_us,
+            EV_MIGRATION_RPC: self.migration_rpc_us,
         }
+
+    def importance_threshold(self) -> float:
+        """Minimum §4 importance at which caching a vertex pays off.
+
+        A replica of ``v`` saves ``remote_rpc_us - cache_hit_us`` per read
+        but costs ``replica_refresh_us`` per upstream churn event; with
+        churn arriving at ``cache_churn_ratio`` events per read, break-even
+        sits at ``churn * refresh / (rpc - hit)``. At the default prices
+        this lands exactly on the paper's τ = 0.2 (rounded to 9 places to
+        absorb float noise so parity with the historical constant is exact).
+        """
+        saving = self.remote_rpc_us - self.cache_hit_us
+        return round(self.cache_churn_ratio * self.replica_refresh_us / saving, 9)
+
+    def replication_gain_us(
+        self, remote_reads: float, out_degree: int, refreshes: float = 0.0
+    ) -> float:
+        """Modelled net µs saved by pinning one vertex on one reader part.
+
+        ``remote_reads`` is the (possibly decay-weighted) number of reads
+        the candidate part issued for the vertex over the decision window;
+        ``refreshes`` the churn events expected over the same window.
+        Positive means the replica pays for its install + upkeep.
+        """
+        per_read = self.remote_rpc_us - self.cache_hit_us
+        upkeep = refreshes * (
+            self.replica_refresh_us + out_degree * self.item_shipped_us
+        )
+        install = self.replica_install_us + out_degree * self.item_shipped_us
+        return remote_reads * per_read - upkeep - install
+
+    def migration_cost_us(self, n_items: int) -> float:
+        """Wire cost of migrating one vertex: fetch + release round trips."""
+        return 2.0 * self.migration_rpc_us + n_items * self.item_shipped_us
+
+    def migration_gain_us(
+        self, reads_to_target: float, reads_from_owner: float
+    ) -> float:
+        """Modelled µs/window saved by moving a vertex to its hottest reader.
+
+        Reads from the target part turn remote → local; reads the current
+        owner still issues turn local → remote, so only the differential
+        counts.
+        """
+        per_read = self.remote_rpc_us - self.local_read_us
+        return (reads_to_target - reads_from_owner) * per_read
 
     def accumulator(self) -> CostAccumulator:
         """Fresh accumulator priced with this model."""

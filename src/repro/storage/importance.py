@@ -155,15 +155,25 @@ class CachePlan:
 def plan_importance_cache(
     graph: Graph,
     max_hop: int = 2,
-    thresholds: "list[float] | float" = 0.2,
+    thresholds: "list[float] | float | None" = None,
     method: str = "multiplicity",
+    cost_model: "object | None" = None,
 ) -> CachePlan:
     """Algorithm 2 lines 5–9: select vertices with Imp^(k) >= tau_k.
 
     ``thresholds`` is either one value reused for every hop or a list with
-    one tau_k per hop. The paper finds tau around 0.2 optimal and h=2
-    sufficient for practical GNNs.
+    one tau_k per hop. When None (the default), tau comes from the §4 cost
+    model's break-even point — ``CostModel.importance_threshold()`` — which
+    equals the paper's 0.2 at the default prices, so default behaviour is
+    unchanged while the knob is now the *prices*, not a second constant.
+    ``cost_model`` overrides the model used for that derivation.
     """
+    if thresholds is None:
+        if cost_model is None:
+            from repro.storage.costmodel import CostModel
+
+            cost_model = CostModel()
+        thresholds = float(cost_model.importance_threshold())  # type: ignore[attr-defined]
     if isinstance(thresholds, (int, float)):
         taus = [float(thresholds)] * max_hop
     else:

@@ -47,6 +47,8 @@ class PartitionAssignment:
             if edge_to_part.shape != (graph.n_edges,):
                 raise PartitionError("edge_to_part must have one entry per edge")
         self.edge_to_part = edge_to_part
+        # Lazily cached edge-source column for reassign_vertex.
+        self._edge_src: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Quality metrics
@@ -97,6 +99,26 @@ class PartitionAssignment:
         if not 0 <= part < self.n_parts:
             raise PartitionError(f"part {part} out of range [0, {self.n_parts})")
         return np.flatnonzero(self.vertex_to_part == part)
+
+    def reassign_vertex(self, vertex: int, part: int) -> int:
+        """Move ``vertex`` to ``part`` (incremental repartitioning commit).
+
+        Keeps the source-placement invariant: edges whose source is
+        ``vertex`` follow it to the new part. Returns the previous owner.
+        """
+        if not 0 <= part < self.n_parts:
+            raise PartitionError(f"part {part} out of range [0, {self.n_parts})")
+        vertex = int(vertex)
+        if not 0 <= vertex < self.graph.n_vertices:
+            raise PartitionError(f"vertex {vertex} out of range")
+        previous = int(self.vertex_to_part[vertex])
+        if previous == part:
+            return previous
+        self.vertex_to_part[vertex] = part
+        if self._edge_src is None:
+            self._edge_src, _, _ = self.graph.edge_array()
+        self.edge_to_part[self._edge_src == vertex] = part
+        return previous
 
 
 class Partitioner:

@@ -85,6 +85,31 @@ class ReplicaRegistry:
         """Distinct vertices with at least one replica."""
         return len(self._holders)
 
+    def audit(self, contents_by_part: "dict[int, set[int]]") -> "dict[str, list]":
+        """Diff the index against ground-truth cache contents.
+
+        ``contents_by_part`` maps part -> the vertex ids that part's cache
+        actually holds. Returns ``{"missing": [...], "stale": [...]}`` of
+        ``(vertex, part)`` pairs — replicas the cache holds but the index
+        lost, and index entries whose cache copy is gone. Both lists empty
+        means the two-way index is exact; tests run this after heavy
+        promote/demote/migrate churn to prove removals never leak.
+        """
+        missing: "list[tuple[int, int]]" = []
+        stale: "list[tuple[int, int]]" = []
+        for part in sorted(contents_by_part):
+            self._check_part(part)
+            truth = {int(v) for v in contents_by_part[part]}
+            indexed = self._by_part.get(part, set())
+            missing.extend((v, part) for v in sorted(truth - indexed))
+            stale.extend((v, part) for v in sorted(indexed - truth))
+        # The vertex->holders side must mirror part->vertices exactly.
+        for vertex in sorted(self._holders):
+            for part in sorted(self._holders[vertex]):
+                if vertex not in self._by_part.get(part, set()):
+                    stale.append((vertex, part))
+        return {"missing": missing, "stale": stale}
+
     def __contains__(self, vertex: int) -> bool:
         return int(vertex) in self._holders
 

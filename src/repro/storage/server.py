@@ -138,6 +138,60 @@ class GraphServer:
         self._adj_weights[src] = self._adj_weights[src][keep]
         return True
 
+    def ingest_vertex(
+        self,
+        vertex: int,
+        neighbors: np.ndarray,
+        weights: np.ndarray,
+        attr: "np.ndarray | None" = None,
+    ) -> None:
+        """Take ownership of a migrated vertex (adjacency + optional attrs).
+
+        The migration protocol installs here *before* the old owner
+        releases, so every instant has at least one server able to serve
+        the row. Re-ingesting an owned vertex is an error — the controller
+        must never double-commit.
+        """
+        vertex = int(vertex)
+        if self.owns(vertex):
+            raise StorageError(
+                f"server {self.part_id} already owns vertex {vertex}"
+            )
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if neighbors.size != weights.size:
+            raise StorageError(
+                f"vertex {vertex}: {neighbors.size} neighbors vs "
+                f"{weights.size} weights"
+            )
+        self._owned_set.add(vertex)
+        self.owned = np.append(self.owned, np.int64(vertex))
+        self._adjacency[vertex] = neighbors
+        self._adj_weights[vertex] = weights
+        if attr is not None:
+            self.attrs.put_vertex_attr(vertex, attr)
+
+    def release_vertex(
+        self, vertex: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None]":
+        """Surrender ownership of ``vertex``; returns (neighbors, weights, attr).
+
+        Idempotence for the RPC layer lives in the caller (the ownership
+        handler treats "not owned" as an already-applied release); here a
+        foreign release is an error so unit misuse surfaces loudly.
+        """
+        vertex = int(vertex)
+        if not self.owns(vertex):
+            raise StorageError(
+                f"server {self.part_id} does not own vertex {vertex}"
+            )
+        self._owned_set.remove(vertex)
+        self.owned = self.owned[self.owned != vertex]
+        neighbors = self._adjacency.pop(vertex)
+        weights = self._adj_weights.pop(vertex)
+        attr = self.attrs.remove_vertex_attr(vertex)
+        return neighbors, weights, attr
+
     def ingest_vertex_attr(self, vertex: int, vector: np.ndarray) -> None:
         """Store an owned vertex's attribute row in the IV index."""
         if not self.owns(vertex):

@@ -196,3 +196,31 @@ def test_metrics_report_emits_valid_prometheus_text(tmp_path, capsys):
     assert main(["metrics-report", "--scale", "0.1", "--steps", "1"]) == 0
     stdout = capsys.readouterr().out
     assert check_prometheus_text(stdout) == []
+
+
+def test_placement_bench_table_and_headline(capsys):
+    code = main(
+        ["placement-bench", "--phases", "1", "--requests", "400",
+         "--scale", "0.2", "--seed", "7"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "placement-bench:" in out
+    assert "remote RPCs" in out
+    assert "vertices migrated" in out
+    assert "headline:" in out
+
+
+def test_placement_bench_json_contract(capsys):
+    import json
+
+    from tests.format_checkers import check_experiment_payload
+
+    code = main(
+        ["placement-bench", "--phases", "1", "--requests", "400", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert check_experiment_payload(payload) == []
+    labels = [r["label"] for r in payload["records"]]
+    assert "adaptive placement (controller on)" in labels
